@@ -1,0 +1,129 @@
+// Package aqlsched's root benchmarks regenerate every table and figure
+// of the paper's evaluation (Section 4); one testing.B target per
+// artifact. Run them with:
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration performs the full experiment on the simulator; the
+// reported wall time is the cost of regenerating that artifact.
+package aqlsched_test
+
+import (
+	"testing"
+
+	"aqlsched/internal/experiments"
+)
+
+func benchCfg(b *testing.B) experiments.Config {
+	b.Helper()
+	if testing.Short() {
+		return experiments.QuickConfig()
+	}
+	cfg := experiments.QuickConfig() // benches always use the quick windows
+	return cfg
+}
+
+// BenchmarkFig2Calibration regenerates the quantum-length calibration
+// (Fig. 2 (a)-(f) plus the lock-duration inset).
+func BenchmarkFig2Calibration(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2(cfg)
+		if len(r.Report.Curves) == 0 {
+			b.Fatal("no calibration curves")
+		}
+	}
+}
+
+// BenchmarkFig4VTRS regenerates the online recognition traces (Fig. 4).
+func BenchmarkFig4VTRS(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4(cfg)
+		if len(r.Traces) != 5 {
+			b.Fatal("expected 5 traces")
+		}
+	}
+}
+
+// BenchmarkTable3Recognition regenerates the per-application type
+// census (Table 3).
+func BenchmarkTable3Recognition(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3(cfg)
+		if len(r.Entries) == 0 {
+			b.Fatal("no entries")
+		}
+	}
+}
+
+// BenchmarkFig5Robustness regenerates the per-app quantum sweep (Fig. 5).
+func BenchmarkFig5Robustness(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5(cfg)
+		if len(r.Apps) == 0 {
+			b.Fatal("no apps")
+		}
+	}
+}
+
+// BenchmarkFig6SingleSocket regenerates Table 5 and Fig. 6 (left):
+// scenarios S1-S5 under default Xen and AQL_Sched.
+func BenchmarkFig6SingleSocket(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.SingleSocket(cfg)
+		if len(r.Scenarios) != 5 {
+			b.Fatal("expected 5 scenarios")
+		}
+	}
+}
+
+// BenchmarkFig6FourSocket regenerates Fig. 6 (right): the Fig. 3
+// population on the 4-socket machine.
+func BenchmarkFig6FourSocket(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6Right(cfg)
+		if len(r.Clusters) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+// BenchmarkFig7Customization regenerates the quantum-customization
+// ablation (Fig. 7).
+func BenchmarkFig7Customization(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7(cfg)
+		if len(r.Norm) != 3 {
+			b.Fatal("expected 3 ablation cases")
+		}
+	}
+}
+
+// BenchmarkFig8Baselines regenerates the comparison with vTurbo,
+// Microsliced and vSlicer (Fig. 8).
+func BenchmarkFig8Baselines(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(cfg)
+		if len(r.Norm) != 4 {
+			b.Fatal("expected 4 policies")
+		}
+	}
+}
+
+// BenchmarkOverhead regenerates the Section 4.3 overhead measurement.
+func BenchmarkOverhead(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.Overhead(cfg)
+		if r.Periods == 0 {
+			b.Fatal("monitor never sampled")
+		}
+	}
+}

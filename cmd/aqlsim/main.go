@@ -1,0 +1,107 @@
+// Command aqlsim runs one of the paper's colocation scenarios under a
+// chosen scheduling policy and prints per-application performance and,
+// for AQL_Sched, the cluster layout it settled on.
+//
+// Usage:
+//
+//	aqlsim [-scenario S1..S5|four-socket] [-policy xen|aql|vturbo|vslicer|microsliced|fixed]
+//	       [-quantum 30ms] [-warmup 2s] [-measure 6s] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"aqlsched/internal/baselines"
+	"aqlsched/internal/core"
+	"aqlsched/internal/report"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
+)
+
+func main() {
+	scen := flag.String("scenario", "S5", "scenario: S1..S5 or four-socket")
+	policy := flag.String("policy", "aql", "policy: xen, aql, vturbo, vslicer, microsliced, fixed")
+	quantum := flag.Duration("quantum", 30*time.Millisecond, "quantum for -policy fixed")
+	warmup := flag.Duration("warmup", 2*time.Second, "warm-up window (simulated)")
+	measure := flag.Duration("measure", 6*time.Second, "measurement window (simulated)")
+	seed := flag.Uint64("seed", 0xA91, "simulation seed")
+	flag.Parse()
+
+	var spec scenario.Spec
+	if *scen == "four-socket" {
+		spec = scenario.FourSocket(*seed)
+	} else {
+		spec = scenario.ScenarioByName(*scen, *seed)
+	}
+	spec.Warmup = sim.Time(warmup.Microseconds())
+	spec.Measure = sim.Time(measure.Microseconds())
+
+	var ctl *core.Controller
+	var pol scenario.Policy
+	switch *policy {
+	case "xen":
+		pol = baselines.XenDefault{}
+	case "aql":
+		pol = baselines.AQL{Out: &ctl}
+	case "vturbo":
+		pol = baselines.VTurbo{}
+	case "vslicer":
+		pol = baselines.VSlicer{}
+	case "microsliced":
+		pol = baselines.Microsliced()
+	case "fixed":
+		pol = baselines.FixedQuantum{Q: sim.Time(quantum.Microseconds())}
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	start := time.Now()
+	res := scenario.Run(spec, pol)
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s under %s", spec.Name, res.Policy),
+		Headers: []string{"application", "type", "metric", "value"},
+	}
+	for _, a := range res.Apps {
+		if a.IsLatency {
+			t.AddRow(a.Name, a.Expected.String(), "mean latency", a.Latency.String())
+		} else {
+			t.AddRow(a.Name, a.Expected.String(), "throughput", fmt.Sprintf("%.1f jobs/s", a.Throughput))
+		}
+	}
+	t.AddNote("context switches: %d, preemptions: %d, wall time: %v",
+		res.CtxSwitches, res.Preemptions, time.Since(start).Round(time.Millisecond))
+	t.Render(os.Stdout)
+
+	if ctl != nil && ctl.LastPlan != nil {
+		ct := &report.Table{
+			Title:   "AQL_Sched cluster layout",
+			Headers: []string{"cluster", "quantum", "pCPUs", "members"},
+		}
+		for _, c := range ctl.LastPlan.Clusters {
+			byVariant := map[string]int{}
+			for _, m := range c.Members {
+				byVariant[m.Variant()]++
+			}
+			keys := make([]string, 0, len(byVariant))
+			for k := range byVariant {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			line := ""
+			for i, k := range keys {
+				if i > 0 {
+					line += ", "
+				}
+				line += fmt.Sprintf("%d %s", byVariant[k], k)
+			}
+			ct.AddRow(c.Name, c.Quantum.String(), len(c.PCPUs), line)
+		}
+		ct.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,376 @@
+// Package cache models the memory hierarchy's effect on execution speed.
+//
+// The paper's entire cache argument (Section 3.2) is about what a
+// quantum length does to last-level-cache (LLC) occupancy:
+//
+//   - an LLCF vCPU (working set fits in the LLC) loses its resident
+//     footprint to co-runners while descheduled and pays a refill cost
+//     every time it is dispatched — so short quanta amortize that cost
+//     badly and long quanta amortize it well;
+//   - an LLCO vCPU (working set overflows the LLC) misses constantly no
+//     matter what, so it is quantum-agnostic, but its stream of
+//     insertions is what evicts everyone else ("trashing");
+//   - a LoLCF vCPU (working set fits in L1/L2) refills a few hundred
+//     kilobytes per dispatch, which is negligible at any realistic
+//     quantum — also agnostic.
+//
+// The model reproduces exactly that mechanism analytically. Each thread
+// owns a Footprint: the bytes of its working set currently resident in
+// some socket's LLC. Sockets carry a monotone "insertion clock" counting
+// all bytes inserted into their LLC; a footprint decays between
+// dispatches in proportion to how much co-runners inserted in the
+// interim (random replacement: each inserted byte evicts a resident byte
+// with probability resident/size, giving exponential decay). While a
+// thread runs, its misses re-install lines, warming the footprint toward
+// its working-set size.
+//
+// Execution time follows: a burst of "ideal" work w (time it would take
+// with a warm cache) is stretched by miss stalls, wall = w + misses *
+// missCost. Warm-up misses follow the closed form of the occupancy ODE
+// dr/dt = refRate*lineSize*(1-r/WSS), so a burst is simulated in O(1)
+// regardless of length.
+//
+// A set-associative cache simulator (setassoc.go) validates the analytic
+// parameters against a directly simulated Drepper-style list walk.
+package cache
+
+import (
+	"fmt"
+	"math"
+
+	"aqlsched/internal/hw"
+	"aqlsched/internal/sim"
+)
+
+// Profile describes the memory behaviour of a compute burst. Profiles
+// are the synthetic stand-ins for the paper's benchmark working sets.
+type Profile struct {
+	// WSS is the working-set size in bytes.
+	WSS int64
+	// RefRate is the number of references reaching the LLC per ideal
+	// microsecond of execution (loads missing L1/L2). Working sets that
+	// fit in L2 should use a near-zero rate.
+	RefRate float64
+	// MissFloor is the steady-state LLC miss ratio once the working set
+	// is fully resident (conflict/cold misses that never go away).
+	MissFloor float64
+	// Streaming marks sets traversed with no reuse: every LLC reference
+	// misses with ratio StreamMissRatio regardless of occupancy (LLCO).
+	Streaming bool
+	// StreamMissRatio is the constant miss ratio for streaming sets.
+	StreamMissRatio float64
+	// InstrPerUs is the nominal instruction rate per ideal microsecond;
+	// zero means DefaultInstrPerUs. Only counter synthesis uses it.
+	InstrPerUs float64
+	// ReuseFactor models in-window temporal locality for the PMU
+	// reference counter: each line brought into the LLC is re-referenced
+	// (ReuseFactor - 1) additional times, so the reported LLC reference
+	// count is RefRate*work*ReuseFactor while misses are unchanged.
+	// Cache-friendly programs have high reuse — that is what keeps their
+	// measured miss *ratio* low even when co-runners evict them between
+	// dispatches. Zero means 1 (no extra reuse).
+	ReuseFactor float64
+}
+
+// DefaultInstrPerUs is the nominal retirement rate used when a profile
+// does not specify one (one instruction per nanosecond of ideal time).
+const DefaultInstrPerUs = 1000.0
+
+// instrRate returns the profile's instruction rate.
+func (p Profile) instrRate() float64 {
+	if p.InstrPerUs > 0 {
+		return p.InstrPerUs
+	}
+	return DefaultInstrPerUs
+}
+
+// reuse returns the profile's reference reuse factor.
+func (p Profile) reuse() float64 {
+	if p.ReuseFactor > 1 {
+		return p.ReuseFactor
+	}
+	return 1
+}
+
+// Footprint is the cache-residency state of one thread (or one vCPU when
+// a vCPU runs a single thread, the paper's framing). The zero value is a
+// fully cold footprint.
+type Footprint struct {
+	resident float64     // bytes of WSS resident in the LLC of `socket`
+	socket   hw.SocketID // which socket's LLC holds the footprint
+	valid    bool        // false until first run
+	mark     float64     // socket insertion clock at last run
+}
+
+// Resident reports the resident bytes (diagnostics and tests).
+func (f *Footprint) Resident() float64 { return f.resident }
+
+// Invalidate drops all residency (e.g. after an explicit flush).
+func (f *Footprint) Invalidate() { *f = Footprint{} }
+
+// BurstResult reports what happened during a modelled burst.
+type BurstResult struct {
+	// Wall is the wall-clock (simulated) time consumed.
+	Wall sim.Time
+	// Ideal is the ideal work completed (warm-cache time units).
+	Ideal sim.Time
+	// Counters holds the PMU events the burst generated.
+	Counters hw.Counters
+	// Finished reports whether the requested work completed within the
+	// wall budget.
+	Finished bool
+	// InsertedBytes is how much this burst inserted into the socket LLC
+	// (needed to roll the insertion clock back when a planned burst is
+	// cut short by preemption).
+	InsertedBytes float64
+}
+
+// socketLLC is the per-socket shared-LLC state.
+type socketLLC struct {
+	inserted float64 // monotone byte-insertion clock
+}
+
+// coreState tracks which footprint last ran on a core, to charge private
+// L1/L2 refill when cores are time-shared.
+type coreState struct {
+	last *Footprint
+}
+
+// Model is the machine-wide cache/performance model.
+type Model struct {
+	topo    *hw.Topology
+	sockets []socketLLC
+	cores   []coreState
+
+	llcSize  float64
+	capBytes float64 // max residency a single footprint may hold
+	missCost float64 // extra wall µs per LLC miss (vs. an LLC hit)
+	l2Fill   float64 // wall µs per byte of private-cache refill
+}
+
+// NewModel builds a cache model for the given machine.
+func NewModel(topo *hw.Topology) *Model {
+	if err := topo.Validate(); err != nil {
+		panic(fmt.Sprintf("cache: %v", err))
+	}
+	memLatUs := float64(topo.MemLatencyNS) / 1000.0
+	llcLatUs := float64(topo.LLC.LatencyNS) / 1000.0
+	return &Model{
+		topo:     topo,
+		sockets:  make([]socketLLC, topo.Sockets),
+		cores:    make([]coreState, topo.TotalPCPUs()),
+		llcSize:  float64(topo.LLC.Size),
+		capBytes: 0.95 * float64(topo.LLC.Size),
+		missCost: memLatUs - llcLatUs,
+		l2Fill:   1e6 / float64(topo.MemBandwidth),
+	}
+}
+
+// Inserted reports the insertion clock of a socket (tests/diagnostics).
+func (m *Model) Inserted(s hw.SocketID) float64 { return m.sockets[s].inserted }
+
+// Uninsert rolls back bytes previously inserted into socket s's LLC.
+// The hypervisor uses it when a planned burst is preempted mid-way: the
+// burst is rolled back and re-run with the actually elapsed budget.
+// Because the insertion clock is additive, removing exactly this burst's
+// contribution leaves co-runners' insertions intact.
+func (m *Model) Uninsert(s hw.SocketID, bytes float64) {
+	m.sockets[s].inserted -= bytes
+	if m.sockets[s].inserted < 0 {
+		m.sockets[s].inserted = 0
+	}
+}
+
+// CoreOccupant reports which footprint last ran on a core (snapshot for
+// preemption rollback).
+func (m *Model) CoreOccupant(core hw.PCPUID) *Footprint { return m.cores[core].last }
+
+// SetCoreOccupant restores a core's last-footprint record (rollback).
+func (m *Model) SetCoreOccupant(core hw.PCPUID, fp *Footprint) { m.cores[core].last = fp }
+
+// decay applies inter-dispatch eviction to fp for a dispatch on socket s.
+func (m *Model) decay(fp *Footprint, s hw.SocketID) {
+	if !fp.valid || fp.socket != s {
+		// First run, or migrated across sockets: fully cold here.
+		fp.resident = 0
+		fp.socket = s
+		fp.valid = true
+		fp.mark = m.sockets[s].inserted
+		return
+	}
+	delta := m.sockets[s].inserted - fp.mark
+	if delta > 0 {
+		fp.resident *= math.Exp(-delta / m.llcSize)
+	}
+	fp.mark = m.sockets[s].inserted
+}
+
+// insert records bytes entering socket s's LLC and advances the clock.
+func (m *Model) insert(s hw.SocketID, bytes float64) {
+	m.sockets[s].inserted += bytes
+}
+
+// Run executes up to `work` ideal microseconds of the profile on the
+// given core within `budget` wall microseconds, updating the footprint
+// and the socket insertion clock, and returns what happened.
+//
+// Run must be called with work > 0 and budget > 0.
+func (m *Model) Run(fp *Footprint, core hw.PCPUID, prof Profile, work, budget sim.Time) BurstResult {
+	if work <= 0 || budget <= 0 {
+		panic(fmt.Sprintf("cache: Run(work=%v, budget=%v)", work, budget))
+	}
+	s := m.topo.SocketOf(core)
+	m.decay(fp, s)
+
+	res := BurstResult{}
+	wallLeft := float64(budget)
+
+	// Private L1/L2 refill: charged when another footprint used this
+	// core since we last did. Bounded by the L2 size.
+	if m.cores[core].last != fp {
+		m.cores[core].last = fp
+		fill := float64(min64(prof.WSS, m.topo.L2.Size)) * m.l2Fill
+		if fill >= wallLeft {
+			// The whole budget went to private refill; almost no work.
+			res.Wall = budget
+			res.Ideal = 0
+			return res
+		}
+		wallLeft -= fill
+	}
+
+	w := float64(work)
+	var idealDone, misses, refsF float64
+
+	switch {
+	case prof.WSS <= m.topo.L2.Size || prof.RefRate <= 0:
+		// L2-resident: runs at ideal speed, negligible LLC traffic.
+		idealDone = math.Min(w, wallLeft)
+		refsF = prof.RefRate * idealDone
+		misses = 0
+
+	case prof.Streaming:
+		// No reuse: constant slowdown, constant insertion stream.
+		slow := 1 + prof.RefRate*prof.StreamMissRatio*m.missCost
+		idealDone = math.Min(w, wallLeft/slow)
+		refsF = prof.RefRate * idealDone
+		misses = refsF * prof.StreamMissRatio
+		res.InsertedBytes = misses * float64(m.topo.LLC.LineSize)
+		m.insert(s, res.InsertedBytes)
+
+	default:
+		// Cached random access over WSS with warm-up.
+		idealDone, misses, refsF = m.runCached(fp, prof, w, wallLeft)
+		res.InsertedBytes = misses * float64(m.topo.LLC.LineSize)
+		m.insert(s, res.InsertedBytes)
+	}
+
+	wallUsed := float64(budget) - wallLeft + idealDone + misses*m.missCost
+	res.Wall = ceilTime(wallUsed)
+	if res.Wall > budget {
+		res.Wall = budget
+	}
+	if res.Wall < 1 {
+		res.Wall = 1
+	}
+	res.Ideal = sim.Time(idealDone)
+	res.Finished = res.Ideal >= work
+	if res.Finished {
+		res.Ideal = work
+	}
+	res.Counters = hw.Counters{
+		Instructions:  uint64(idealDone * prof.instrRate()),
+		LLCReferences: uint64(refsF * prof.reuse()),
+		LLCMisses:     uint64(misses),
+	}
+	fp.mark = m.sockets[s].inserted
+	return res
+}
+
+// runCached integrates the occupancy ODE for a cache-friendly random
+// access pattern and returns (idealDone, misses, refs) for the burst,
+// updating fp.resident.
+//
+// Let r be the resident fraction of the effective working set E =
+// min(WSS, cap). Misses occur at rate RefRate*(miss probability), with
+// missProb = floor + (1-floor)*(1-r). Each miss installs a line:
+// dr/dw = RefRate*(1-floor)*(1-r)*line/E, so (1-r) decays exponentially
+// in ideal time with constant T = E / (RefRate*(1-floor)*line).
+func (m *Model) runCached(fp *Footprint, prof Profile, work, wallBudget float64) (idealDone, misses, refs float64) {
+	eff := math.Min(float64(prof.WSS), m.capBytes)
+	line := float64(m.topo.LLC.LineSize)
+	floor := prof.MissFloor
+	if prof.WSS > int64(m.capBytes) {
+		// Set bigger than the cache but with reuse: references to the
+		// uncacheable remainder always miss. Raise the floor by the
+		// uncacheable fraction.
+		floor = math.Max(floor, 1-m.capBytes/float64(prof.WSS))
+	}
+	r0 := 0.0
+	if eff > 0 {
+		r0 = math.Min(fp.resident/eff, 1)
+	}
+	T := eff / (prof.RefRate * math.Max(1-floor, 1e-9) * line)
+
+	// wall(w) = w + missCost * missCount(w), monotone in w.
+	coldInt := func(w float64) float64 { // integral of (1-r) over [0,w]
+		return (1 - r0) * T * (1 - math.Exp(-w/T))
+	}
+	missCount := func(w float64) float64 {
+		c := coldInt(w)
+		return prof.RefRate * (floor*w + (1-floor)*c)
+	}
+	wall := func(w float64) float64 { return w + m.missCost*missCount(w) }
+
+	w := work
+	if wall(w) > wallBudget {
+		// Bisect for the work that exactly fits the budget.
+		lo, hi := 0.0, math.Min(w, wallBudget)
+		for i := 0; i < 48 && hi-lo > 1e-9*(1+hi); i++ {
+			mid := (lo + hi) / 2
+			if wall(mid) > wallBudget {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		w = lo
+	}
+	idealDone = w
+	misses = missCount(w)
+	refs = prof.RefRate * w
+
+	// Footprint after the burst.
+	r := 1 - (1-r0)*math.Exp(-w/T)
+	fp.resident = math.Min(r*eff, eff)
+	return idealDone, misses, refs
+}
+
+// SpinCounters synthesizes PMU counters for a spin-wait burst of the
+// given wall duration: instructions retire (the PAUSE loop), essentially
+// no LLC traffic, and the PAUSE-loop-exit counter advances. PauseRate is
+// loop iterations per microsecond.
+const PauseRate = 32.0
+
+// SpinCounters returns the counters a spin burst of duration d produces.
+func SpinCounters(d sim.Time) hw.Counters {
+	return hw.Counters{
+		Instructions: uint64(float64(d) * DefaultInstrPerUs * 0.25),
+		PauseLoops:   uint64(float64(d) * PauseRate),
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func ceilTime(v float64) sim.Time {
+	t := sim.Time(v)
+	if float64(t) < v {
+		t++
+	}
+	return t
+}

@@ -1,0 +1,324 @@
+// Package calib is the offline quantum-length calibration of
+// Section 3.4: for each application type it measures performance under
+// quantum lengths {1, 10, 30, 60, 90} ms with 2 and 4 vCPUs sharing a
+// pCPU, normalizes over the Xen default (30 ms), and derives the best
+// quantum per type — or flags the type as quantum-agnostic when the
+// spread is insignificant.
+//
+// The paper automated this with a deployment framework (Roboconf) and a
+// self-benchmarking tool (CLIF); here the same loop runs in-process on
+// the simulator.
+package calib
+
+import (
+	"fmt"
+	"sort"
+
+	"aqlsched/internal/baselines"
+	"aqlsched/internal/cluster"
+	"aqlsched/internal/hw"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/vcputype"
+	"aqlsched/internal/workload"
+)
+
+// Quanta is the paper's quantum-length discretization.
+func Quanta() []sim.Time {
+	return []sim.Time{
+		1 * sim.Millisecond,
+		10 * sim.Millisecond,
+		30 * sim.Millisecond,
+		60 * sim.Millisecond,
+		90 * sim.Millisecond,
+	}
+}
+
+// BaselineQuantum is the normalization point (Xen default).
+const BaselineQuantum = 30 * sim.Millisecond
+
+// AgnosticSpread: when the best and worst normalized performance across
+// quanta differ by less than this fraction, the type is declared
+// quantum-agnostic. Consolidated gang schedules are noisy (alignment
+// luck), so the band is generous; genuinely sensitive types (hetero
+// IOInt, LLCF) show spreads several times larger.
+const AgnosticSpread = 0.25
+
+// Case identifies one calibration subject (a sub-figure of Fig. 2).
+type Case struct {
+	// Label as in Fig. 2, e.g. "Excl. IOInt".
+	Label string
+	// Type whose best quantum this case calibrates.
+	Type vcputype.Type
+	// Spec under calibration.
+	Spec workload.AppSpec
+	// UseForTable marks the case whose result enters the quantum table
+	// (e.g. the heterogeneous IOInt case, not the exclusive one).
+	UseForTable bool
+}
+
+// Cases returns the calibration subjects of Fig. 2 (a)-(f).
+func Cases(topo *hw.Topology) []Case {
+	return []Case{
+		{Label: "Excl. IOInt", Type: vcputype.IOInt, Spec: workload.MicroWeb(false)},
+		{Label: "Hetero. IOInt", Type: vcputype.IOInt, Spec: workload.MicroWeb(true), UseForTable: true},
+		{Label: "ConSpin", Type: vcputype.ConSpin, Spec: workload.MicroKernbench(4), UseForTable: true},
+		{Label: "LLCF", Type: vcputype.LLCF, Spec: workload.MicroListWalk(topo, vcputype.LLCF), UseForTable: true},
+		{Label: "LoLCF", Type: vcputype.LoLCF, Spec: workload.MicroListWalk(topo, vcputype.LoLCF), UseForTable: true},
+		{Label: "LLCO", Type: vcputype.LLCO, Spec: workload.MicroListWalk(topo, vcputype.LLCO), UseForTable: true},
+	}
+}
+
+// Point is one measurement of a calibration curve.
+type Point struct {
+	Quantum sim.Time
+	PerPCPU int // vCPUs sharing each pCPU
+	// Norm is performance normalized over the 30 ms baseline (lower is
+	// better, as in Fig. 2).
+	Norm float64
+	// Raw is the un-normalized metric (µs latency or time-per-job).
+	Raw float64
+}
+
+// Curve is the calibration result of one case.
+type Curve struct {
+	Case   Case
+	Points []Point
+}
+
+// At returns the point for (q, k).
+func (c *Curve) At(q sim.Time, k int) (Point, bool) {
+	for _, p := range c.Points {
+		if p.Quantum == q && p.PerPCPU == k {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// LockPoint is one lock-duration measurement (Fig. 2 rightmost).
+type LockPoint struct {
+	Quantum  sim.Time
+	MeanHold sim.Time
+	// MaxHold is the worst hold observed: the direct footprint of
+	// lock-holder preemption, which stretches a hold by up to
+	// (k-1) quanta.
+	MaxHold sim.Time
+}
+
+// Report is the full calibration outcome.
+type Report struct {
+	Curves []Curve
+	// LockDurations is the Fig. 2 rightmost series.
+	LockDurations []LockPoint
+	// Table is the derived per-type best-quantum table.
+	Table cluster.QuantumTable
+	// AgnosticTypes lists types whose spread was below the threshold.
+	AgnosticTypes []vcputype.Type
+}
+
+// Options configure a calibration run.
+type Options struct {
+	Topo *hw.Topology
+	// PerPCPU lists the consolidation ratios to sweep (default {2,4}).
+	PerPCPU []int
+	// Warmup and Measure default to 1s and 3s.
+	Warmup, Measure sim.Time
+	Seed            uint64
+	// Repeats averages each point over several seeds (default 3):
+	// consolidated schedules are bistable (aligned vs. convoyed gangs)
+	// and single runs sample alignment luck, exactly like single runs
+	// on real hardware.
+	Repeats int
+}
+
+func (o *Options) fill() {
+	if o.Topo == nil {
+		o.Topo = hw.I73770()
+	}
+	if len(o.PerPCPU) == 0 {
+		o.PerPCPU = []int{2, 4}
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 1 * sim.Second
+	}
+	if o.Measure == 0 {
+		o.Measure = 3 * sim.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 0xCA11B
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
+}
+
+// disturber returns the i-th colocated VM spec: a mix of trashing and
+// low-footprint workloads ("various workload types", Section 3.4.1).
+// Job sizes vary per instance so rotation periods decorrelate.
+func disturber(topo *hw.Topology, i int) workload.AppSpec {
+	s := workload.MicroListWalk(topo, vcputype.LLCO)
+	if i%2 == 1 {
+		s = workload.MicroListWalk(topo, vcputype.LoLCF)
+	}
+	s.Steady = false // disturbers keep housekeeping pauses: schedule drift
+	s.JobWork += sim.Time(i%5) * 1700 * sim.Microsecond
+	return s
+}
+
+// caseSpec builds the colocation scenario for one calibration case at
+// consolidation ratio k. Single-vCPU subjects run on one pCPU with k-1
+// disturbers; multi-vCPU subjects (kernbench) run on as many pCPUs as
+// they have vCPUs, with (k-1) disturbers per pCPU.
+func caseSpec(c Case, k int, o Options) scenario.Spec {
+	subjectVCPUs := 1
+	if c.Spec.Kind == workload.KindLock {
+		subjectVCPUs = c.Spec.Threads
+	}
+	pcpus := subjectVCPUs
+	var ids []hw.PCPUID
+	for i := 0; i < pcpus; i++ {
+		ids = append(ids, hw.PCPUID(i))
+	}
+	apps := []scenario.Entry{{Spec: c.Spec, Count: 1}}
+	nDist := (k - 1) * pcpus
+	for i := 0; i < nDist; i++ {
+		apps = append(apps, scenario.Entry{Spec: disturber(o.Topo, i), Count: 1})
+	}
+	return scenario.Spec{
+		Name:       fmt.Sprintf("calib-%s-k%d", c.Label, k),
+		Topo:       o.Topo,
+		GuestPCPUs: ids,
+		Apps:       apps,
+		Warmup:     o.Warmup,
+		Measure:    o.Measure,
+		Seed:       o.Seed,
+	}
+}
+
+// measure runs one case at quantum q and ratio k, returning the raw
+// metric of the subject application averaged over o.Repeats seeds.
+func measure(c Case, q sim.Time, k int, o Options) float64 {
+	sum := 0.0
+	for r := 0; r < o.Repeats; r++ {
+		spec := caseSpec(c, k, o)
+		spec.Seed = o.Seed + uint64(r)*7919
+		res := scenario.Run(spec, baselines.FixedQuantum{Q: q})
+		sum += res.Apps[0].Metric()
+	}
+	return sum / float64(o.Repeats)
+}
+
+// Run executes the full calibration sweep.
+func Run(o Options) *Report {
+	o.fill()
+	rep := &Report{}
+	bests := map[vcputype.Type]sim.Time{}
+	agnostic := map[vcputype.Type]bool{}
+
+	for _, c := range Cases(o.Topo) {
+		curve := Curve{Case: c}
+		// Baselines per ratio.
+		base := map[int]float64{}
+		for _, k := range o.PerPCPU {
+			base[k] = measure(c, BaselineQuantum, k, o)
+		}
+		for _, q := range Quanta() {
+			for _, k := range o.PerPCPU {
+				raw := base[k]
+				if q != BaselineQuantum {
+					raw = measure(c, q, k, o)
+				}
+				norm := 0.0
+				if base[k] > 0 {
+					norm = raw / base[k]
+				}
+				curve.Points = append(curve.Points, Point{Quantum: q, PerPCPU: k, Norm: norm, Raw: raw})
+			}
+		}
+		rep.Curves = append(rep.Curves, curve)
+		if !c.UseForTable {
+			continue
+		}
+		// Decide best-vs-agnostic at the highest consolidation ratio.
+		k := o.PerPCPU[len(o.PerPCPU)-1]
+		bestQ, bestN, worstN := BaselineQuantum, 1.0, 1.0
+		for _, q := range Quanta() {
+			p, ok := curve.At(q, k)
+			if !ok {
+				continue
+			}
+			if p.Norm < bestN {
+				bestN, bestQ = p.Norm, q
+			}
+			if p.Norm > worstN {
+				worstN = p.Norm
+			}
+		}
+		if worstN-bestN < AgnosticSpread {
+			agnostic[c.Type] = true
+			continue
+		}
+		// Keep the better of an existing calibration (two IOInt cases
+		// never both enter the table, but stay defensive).
+		if prev, ok := bests[c.Type]; !ok || bestQ != prev {
+			bests[c.Type] = bestQ
+		}
+	}
+
+	rep.Table = cluster.QuantumTable{Best: bests, Default: BaselineQuantum}
+	for t, ok := range agnostic {
+		if ok && bests[t] == 0 {
+			rep.AgnosticTypes = append(rep.AgnosticTypes, t)
+		}
+	}
+	sort.Slice(rep.AgnosticTypes, func(a, b int) bool {
+		return rep.AgnosticTypes[a] < rep.AgnosticTypes[b]
+	})
+
+	// Lock-duration sweep (Fig. 2 rightmost): kernbench, 4 vCPUs per
+	// pCPU, quanta 20..80 ms.
+	for _, q := range []sim.Time{20 * sim.Millisecond, 40 * sim.Millisecond, 60 * sim.Millisecond, 80 * sim.Millisecond} {
+		mean, max := lockDuration(q, o)
+		rep.LockDurations = append(rep.LockDurations, LockPoint{
+			Quantum:  q,
+			MeanHold: mean,
+			MaxHold:  max,
+		})
+	}
+	return rep
+}
+
+// lockDuration measures the mean and worst spin-lock hold duration of
+// the ConSpin micro-benchmark consolidated at 4 vCPUs per pCPU,
+// aggregated over o.Repeats seeds.
+func lockDuration(q sim.Time, o Options) (mean, max sim.Time) {
+	// Longer critical sections than the throughput micro-benchmark so
+	// that slice boundaries land inside holds often enough for the
+	// worst-hold statistic to stabilise within the measurement window.
+	spec := workload.MicroKernbench(4)
+	spec.Hold = 200 * sim.Microsecond
+	spec.Gap = 600 * sim.Microsecond
+	c := Case{Label: "lock", Type: vcputype.ConSpin, Spec: spec}
+	var meanSum sim.Time
+	n := 0
+	for r := 0; r < o.Repeats; r++ {
+		spec := caseSpec(c, 4, o)
+		spec.Seed = o.Seed + uint64(r)*7919
+		res := scenario.Run(spec, baselines.FixedQuantum{Q: q})
+		for _, d := range res.Deps {
+			if len(d.Locks) > 0 {
+				_, m, mx := d.Locks[0].HoldStats()
+				meanSum += m
+				n++
+				if mx > max {
+					max = mx
+				}
+			}
+		}
+	}
+	if n > 0 {
+		mean = meanSum / sim.Time(n)
+	}
+	return mean, max
+}

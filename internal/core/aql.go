@@ -1,0 +1,124 @@
+// Package core implements AQL_Sched, the paper's contribution: an
+// Adaptable Quantum Length scheduler (Section 3).
+//
+// The controller wires the three features together:
+//
+//  1. the online vCPU Type Recognition System (internal/vtrs) samples
+//     every vCPU each monitoring period (30 ms) and types it after a
+//     4-period window;
+//  2. the offline calibration result (internal/calib, summarized as a
+//     cluster.QuantumTable) maps each type to its best quantum —
+//     IOInt/ConSpin 1 ms, LLCF 90 ms, LoLCF/LLCO agnostic;
+//  3. the two-level clustering (internal/cluster) turns the typed vCPU
+//     population into CPU pools per socket, each configured with its
+//     cluster's quantum, while preserving fairness and separating
+//     trashing from non-trashing vCPUs.
+//
+// Every vTRS window the controller rebuilds the cluster plan; if the
+// assignment changed it is applied through the hypervisor's pool
+// reconfiguration, which — thanks to the shared-runqueue trick the
+// paper describes in Section 4.3 — costs nothing beyond the cache
+// effects the cache model already charges.
+package core
+
+import (
+	"aqlsched/internal/cluster"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/vtrs"
+	"aqlsched/internal/xen"
+)
+
+// Controller is the AQL_Sched control loop.
+type Controller struct {
+	H       *xen.Hypervisor
+	Monitor *vtrs.Monitor
+	Table   cluster.QuantumTable
+
+	// ReclusterEvery is the decision cadence in monitoring periods
+	// (defaults to the vTRS window, n = 4).
+	ReclusterEvery int
+	// GracePeriods delays the first decision so every vCPU accumulates
+	// a full window of warm history under the default quantum before
+	// the first clustering locks placements in (defaults to 2 windows).
+	GracePeriods int
+
+	// QuantumCustomization, when false, keeps the clustering step but
+	// forces FixedQuantum on every pool — the Fig. 7 ablation that
+	// isolates the benefit of quantum customization from the benefit of
+	// clustering.
+	QuantumCustomization bool
+	// FixedQuantum is the pool quantum used when customization is off.
+	FixedQuantum sim.Time
+
+	// Reclusters counts applied reconfigurations (diagnostics).
+	Reclusters uint64
+	// LastPlan is the most recently applied cluster layout.
+	LastPlan *cluster.Plan
+
+	lastSig string
+}
+
+// New builds an AQL controller over h with the paper's calibrated
+// quantum table and default cadence.
+func New(h *xen.Hypervisor) *Controller {
+	return &Controller{
+		H:                    h,
+		Monitor:              vtrs.NewMonitor(h),
+		Table:                cluster.PaperTable(),
+		ReclusterEvery:       vtrs.DefaultWindow,
+		GracePeriods:         2 * vtrs.DefaultWindow,
+		QuantumCustomization: true,
+	}
+}
+
+// Start begins monitoring and deciding.
+func (c *Controller) Start() {
+	c.Monitor.OnPeriod = c.onPeriod
+	c.Monitor.Start()
+}
+
+// Infos snapshots the recognized type and trashing cursor of every
+// vCPU — the clustering input.
+func (c *Controller) Infos() []cluster.VCPUInfo {
+	var infos []cluster.VCPUInfo
+	for _, d := range c.H.Domains {
+		for _, v := range d.VCPUs {
+			infos = append(infos, cluster.VCPUInfo{
+				V:       v,
+				Type:    c.Monitor.TypeOf(v),
+				LLCOAvg: c.Monitor.TrashingCursor(v),
+			})
+		}
+	}
+	return infos
+}
+
+// onPeriod runs after each monitoring period; every ReclusterEvery
+// periods it recomputes and (if changed) applies the cluster plan.
+func (c *Controller) onPeriod(now sim.Time, period int) {
+	if c.ReclusterEvery <= 0 || period%c.ReclusterEvery != 0 || period < c.GracePeriods {
+		return
+	}
+	plan := cluster.Build(c.H, c.Infos(), c.Table)
+	if !c.QuantumCustomization {
+		q := c.FixedQuantum
+		if q <= 0 {
+			q = c.Table.Default
+		}
+		for _, cl := range plan.Clusters {
+			cl.Quantum = q
+		}
+	}
+	sig := plan.Signature()
+	if sig == c.lastSig {
+		return
+	}
+	if err := c.H.ApplyPlan(plan.ToPoolPlan(), now); err != nil {
+		// A plan that fails validation is a programming error: the
+		// clustering must always produce a full partition.
+		panic("core: " + err.Error())
+	}
+	c.lastSig = sig
+	c.LastPlan = plan
+	c.Reclusters++
+}

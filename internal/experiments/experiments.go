@@ -1,0 +1,98 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) on the simulator:
+//
+//	Fig. 2   — quantum-length calibration per type (+ lock durations)
+//	Fig. 4   — online vTRS cursor traces for 5 representative apps
+//	Table 3  — detected type for every benchmark
+//	Fig. 5   — per-app performance across quantum lengths (robustness)
+//	Table 4  — colocation scenarios (inputs)
+//	Table 5  — clusters AQL forms per scenario
+//	Fig. 6   — AQL vs default Xen, single-socket (left) and 4-socket
+//	           (right, the Fig. 3 population)
+//	Fig. 7   — quantum-customization ablation on the 4-socket case
+//	Fig. 8   — comparison with vTurbo, Microsliced and vSlicer on S5
+//	Table 6  — qualitative feature comparison
+//	§4.3     — overhead of the monitoring/recognition/clustering path
+//
+// Every experiment returns a typed result plus rendered text tables.
+// Absolute numbers are simulator-specific; the shapes are what
+// reproduce (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+
+	"aqlsched/internal/hw"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/vcputype"
+	"aqlsched/internal/workload"
+)
+
+// Config controls experiment durations.
+type Config struct {
+	// Quick shrinks measurement windows and sweeps (tests, -short).
+	Quick bool
+	// Seed for all scenario RNGs.
+	Seed uint64
+}
+
+// DefaultConfig is the full-length configuration.
+func DefaultConfig() Config { return Config{Seed: 0xA91} }
+
+// QuickConfig is the reduced configuration.
+func QuickConfig() Config { return Config{Quick: true, Seed: 0xA91} }
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 0xA91
+	}
+	return c.Seed
+}
+
+// windows returns (warmup, measure).
+func (c Config) windows() (sim.Time, sim.Time) {
+	if c.Quick {
+		return 1 * sim.Second, 2500 * sim.Millisecond
+	}
+	return 2 * sim.Second, 6 * sim.Second
+}
+
+// Colo builds the paper's standard measurement environment for one
+// application: the subject VM colocated with disturber VMs so that k
+// vCPUs share each pCPU (Sections 3.4.1 and 4.1). Single-vCPU subjects
+// get one pCPU; multi-vCPU subjects get one pCPU per vCPU.
+func Colo(app workload.AppSpec, k int, cfg Config) scenario.Spec {
+	topo := hw.I73770()
+	subjectVCPUs := 1
+	if app.Kind == workload.KindLock {
+		subjectVCPUs = app.Threads
+		if subjectVCPUs <= 0 {
+			subjectVCPUs = 4
+		}
+	}
+	var ids []hw.PCPUID
+	for i := 0; i < subjectVCPUs; i++ {
+		ids = append(ids, hw.PCPUID(i))
+	}
+	apps := []scenario.Entry{{Spec: app, Count: 1}}
+	for i := 0; i < (k-1)*subjectVCPUs; i++ {
+		d := workload.MicroListWalk(topo, vcputype.LLCO)
+		if i%2 == 1 {
+			d = workload.MicroListWalk(topo, vcputype.LoLCF)
+		}
+		d.Steady = false // disturbers keep housekeeping pauses: schedule drift
+		d.JobWork += sim.Time(i%5) * 1700 * sim.Microsecond
+		apps = append(apps, scenario.Entry{Spec: d, Count: 1})
+	}
+	warm, meas := cfg.windows()
+	return scenario.Spec{
+		Name:       fmt.Sprintf("colo-%s-k%d", app.Name, k),
+		Topo:       topo,
+		GuestPCPUs: ids,
+		Apps:       apps,
+		Warmup:     warm,
+		Measure:    meas,
+		Seed:       cfg.seed(),
+	}
+}

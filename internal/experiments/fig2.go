@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"aqlsched/internal/calib"
+	"aqlsched/internal/report"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/vcputype"
+)
+
+// Fig2Result is the calibration experiment outcome.
+type Fig2Result struct {
+	Report *calib.Report
+}
+
+// Fig2 reruns the Section 3.4 calibration (Fig. 2 (a)-(f) plus the
+// lock-duration inset).
+func Fig2(cfg Config) *Fig2Result {
+	warm, meas := cfg.windows()
+	o := calib.Options{
+		Warmup:  warm,
+		Measure: meas,
+		Seed:    cfg.seed(),
+	}
+	if cfg.Quick {
+		o.PerPCPU = []int{4}
+	}
+	return &Fig2Result{Report: calib.Run(o)}
+}
+
+// Tables renders the calibration curves, lock durations and the derived
+// quantum table.
+func (r *Fig2Result) Tables() []*report.Table {
+	var out []*report.Table
+
+	for _, curve := range r.Report.Curves {
+		t := &report.Table{
+			Title:   "Fig. 2: calibration — " + curve.Case.Label,
+			Headers: []string{"quantum", "vCPUs/pCPU", "normalized perf (lower=better)"},
+		}
+		for _, p := range curve.Points {
+			t.AddRow(p.Quantum.String(), p.PerPCPU, p.Norm)
+		}
+		t.AddNote("normalized over the Xen default quantum (30ms)")
+		out = append(out, t)
+	}
+
+	lock := &report.Table{
+		Title:   "Fig. 2 (rightmost): lock duration vs quantum",
+		Headers: []string{"quantum", "mean hold", "worst hold (LHP footprint)"},
+	}
+	for _, p := range r.Report.LockDurations {
+		lock.AddRow(p.Quantum.String(), p.MeanHold.String(), p.MaxHold.String())
+	}
+	out = append(out, lock)
+
+	tbl := &report.Table{
+		Title:   "Derived best-quantum table (Section 3.4.2)",
+		Headers: []string{"type", "best quantum"},
+	}
+	for _, ty := range vcputype.All() {
+		if q, ok := r.Report.Table.Best[ty]; ok {
+			tbl.AddRow(ty.String(), q.String())
+		} else {
+			tbl.AddRow(ty.String(), "agnostic")
+		}
+	}
+	tbl.AddRow("default", r.Report.Table.Default.String())
+	out = append(out, tbl)
+	return out
+}
+
+// BestQuantum is a convenience accessor.
+func (r *Fig2Result) BestQuantum(t vcputype.Type) (sim.Time, bool) {
+	return r.Report.Table.QuantumFor(t)
+}

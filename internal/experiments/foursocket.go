@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"aqlsched/internal/baselines"
+	"aqlsched/internal/core"
+	"aqlsched/internal/report"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
+)
+
+// ClusterPerf summarizes one cluster of the 4-socket experiment.
+type ClusterPerf struct {
+	Cluster string
+	Quantum sim.Time
+	Socket  int
+	// PerVariant maps the paper's variant notation (IOInt+, LLCF, ...)
+	// to the mean normalized performance of the member VMs.
+	PerVariant map[string]float64
+	Members    int
+	PCPUs      int
+}
+
+// Fig6RightResult is the 4-socket experiment outcome.
+type Fig6RightResult struct {
+	Clusters   []ClusterPerf
+	Reclusters uint64
+}
+
+// runFourSocket executes the Fig. 3 population under a policy and
+// returns the scenario results.
+func runFourSocket(cfg Config, pol scenario.Policy) *scenario.Result {
+	spec := scenario.FourSocket(cfg.seed())
+	spec.Warmup, spec.Measure = cfg.windows()
+	return scenario.Run(spec, pol)
+}
+
+// Fig6Right runs the Fig. 3 population (12 LLCO, 12 IOInt+, 17 LLCF,
+// 7 ConSpin- vCPUs on three guest sockets) under default Xen and AQL,
+// reporting normalized performance per cluster as the paper does.
+func Fig6Right(cfg Config) *Fig6RightResult {
+	base := runFourSocket(cfg, baselines.XenDefault{})
+	var ctl *core.Controller
+	aql := runFourSocket(cfg, baselines.AQL{Out: &ctl})
+
+	// Per-VM normalized performance.
+	norm := map[string]float64{}
+	for _, vm := range aql.PerVM {
+		b := base.VM(vm.Name)
+		if b.Metric() > 0 {
+			norm[vm.Name] = vm.Metric() / b.Metric()
+		}
+	}
+
+	out := &Fig6RightResult{}
+	if ctl == nil || ctl.LastPlan == nil {
+		return out
+	}
+	out.Reclusters = ctl.Reclusters
+	for _, c := range ctl.LastPlan.Clusters {
+		cp := ClusterPerf{
+			Cluster:    c.Name,
+			Quantum:    c.Quantum,
+			Socket:     int(c.Socket),
+			PerVariant: map[string]float64{},
+			Members:    len(c.Members),
+			PCPUs:      len(c.PCPUs),
+		}
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for _, m := range c.Members {
+			if v, ok := norm[m.V.Domain.Name]; ok {
+				sums[m.Variant()] += v
+				counts[m.Variant()]++
+			}
+		}
+		for k, s := range sums {
+			cp.PerVariant[k] = s / float64(counts[k])
+		}
+		out.Clusters = append(out.Clusters, cp)
+	}
+	return out
+}
+
+// Table renders the per-cluster normalized performance.
+func (r *Fig6RightResult) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Fig. 6 (right): 4-socket machine, per-cluster normalized perf (base: Xen)",
+		Headers: []string{"socket", "cluster", "quantum", "vCPUs/pCPUs", "variant", "normalized"},
+	}
+	for _, c := range r.Clusters {
+		keys := make([]string, 0, len(c.PerVariant))
+		for k := range c.PerVariant {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			t.AddRow(c.Socket, c.Cluster, c.Quantum.String(),
+				fmt.Sprintf("%d/%d", c.Members, c.PCPUs), k, c.PerVariant[k])
+		}
+	}
+	return t
+}
+
+// Fig7Result is the quantum-customization ablation.
+type Fig7Result struct {
+	// Norm maps fixed-quantum label -> variant -> mean normalized perf
+	// over the full AQL run (>1 means the ablation is worse, i.e.
+	// customization helped).
+	Norm map[string]map[string]float64
+}
+
+// Fig7 replays the 4-socket experiment with the clustering step active
+// but the quantum customization disabled — every pool runs a fixed
+// small (1 ms), medium (30 ms) or large (90 ms) quantum — and
+// normalizes over the full AQL_Sched run (the paper's Fig. 7).
+func Fig7(cfg Config) *Fig7Result {
+	full := runFourSocket(cfg, baselines.AQL{})
+	fullVM := map[string]float64{}
+	for _, vm := range full.PerVM {
+		fullVM[vm.Name] = vm.Metric()
+	}
+	variantOf := map[string]string{}
+	for _, d := range full.Deps {
+		variantOf[d.Dom.Name] = d.Spec.Expected.String()
+	}
+
+	out := &Fig7Result{Norm: map[string]map[string]float64{}}
+	cases := []struct {
+		label string
+		q     sim.Time
+	}{
+		{"small (1ms)", 1 * sim.Millisecond},
+		{"medium (30ms)", 30 * sim.Millisecond},
+		{"large (90ms)", 90 * sim.Millisecond},
+	}
+	for _, cse := range cases {
+		res := runFourSocket(cfg, baselines.AQL{DisableCustomization: true, FixedQuantum: cse.q})
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for _, vm := range res.PerVM {
+			base := fullVM[vm.Name]
+			if base <= 0 {
+				continue
+			}
+			v := variantOf[vm.Name]
+			sums[v] += vm.Metric() / base
+			counts[v]++
+		}
+		m := map[string]float64{}
+		for k, s := range sums {
+			m[k] = s / float64(counts[k])
+		}
+		out.Norm[cse.label] = m
+	}
+	return out
+}
+
+// Table renders the ablation.
+func (r *Fig7Result) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Fig. 7: benefit of quantum customization (normalized over full AQL; >1 = ablation worse)",
+		Headers: []string{"fixed quantum", "type", "normalized perf"},
+	}
+	labels := make([]string, 0, len(r.Norm))
+	for l := range r.Norm {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		types := make([]string, 0, len(r.Norm[l]))
+		for ty := range r.Norm[l] {
+			types = append(types, ty)
+		}
+		sort.Strings(types)
+		for _, ty := range types {
+			t.AddRow(l, ty, r.Norm[l][ty])
+		}
+	}
+	t.AddNote("clustering stays active; only the per-pool quantum customization is disabled")
+	return t
+}

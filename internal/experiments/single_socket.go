@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"aqlsched/internal/baselines"
+	"aqlsched/internal/cluster"
+	"aqlsched/internal/core"
+	"aqlsched/internal/report"
+	"aqlsched/internal/scenario"
+)
+
+// ScenarioOutcome is one Table-4 scenario under AQL vs default Xen.
+type ScenarioOutcome struct {
+	Name string
+	// Norm maps app name -> normalized perf under AQL (base: Xen).
+	Norm map[string]float64
+	// Expected type per app name.
+	Types map[string]string
+	// Clusters is the final layout AQL settled on (Table 5).
+	Clusters []*cluster.Cluster
+	// Reclusters counts applied reconfigurations.
+	Reclusters uint64
+}
+
+// SingleSocketResult covers Fig. 6 (left) and Table 5.
+type SingleSocketResult struct {
+	Scenarios []ScenarioOutcome
+}
+
+// SingleSocket runs the five colocation scenarios of Table 4 under the
+// default Xen scheduler and under AQL_Sched, producing the normalized
+// per-application performance of Fig. 6 (left) and the cluster layouts
+// of Table 5.
+func SingleSocket(cfg Config) *SingleSocketResult {
+	out := &SingleSocketResult{}
+	warm, meas := cfg.windows()
+	for _, spec := range scenario.Table4(cfg.seed()) {
+		spec.Warmup = warm
+		spec.Measure = meas
+		base := scenario.Run(spec, baselines.XenDefault{})
+		var ctl *core.Controller
+		aql := scenario.Run(spec, baselines.AQL{Out: &ctl})
+
+		oc := ScenarioOutcome{
+			Name:  spec.Name,
+			Norm:  scenario.Normalize(aql, base),
+			Types: map[string]string{},
+		}
+		for _, a := range aql.Apps {
+			oc.Types[a.Name] = a.Expected.String()
+		}
+		if ctl != nil && ctl.LastPlan != nil {
+			oc.Clusters = ctl.LastPlan.Clusters
+			oc.Reclusters = ctl.Reclusters
+		}
+		out.Scenarios = append(out.Scenarios, oc)
+	}
+	return out
+}
+
+// Fig6LeftTable renders the per-app normalized performance.
+func (r *SingleSocketResult) Fig6LeftTable() *report.Table {
+	t := &report.Table{
+		Title:   "Fig. 6 (left): AQL_Sched vs default Xen, scenarios S1-S5 (lower=better)",
+		Headers: []string{"scenario", "app", "type", "normalized perf"},
+	}
+	for _, sc := range r.Scenarios {
+		names := make([]string, 0, len(sc.Norm))
+		for n := range sc.Norm {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			t.AddRow(sc.Name, n, sc.Types[n], sc.Norm[n])
+		}
+	}
+	t.AddNote("normalized over the default Xen scheduler; LoLCF/LLCO are quantum agnostic")
+	return t
+}
+
+// Table5Table renders the cluster layouts.
+func (r *SingleSocketResult) Table5Table() *report.Table {
+	t := &report.Table{
+		Title:   "Table 5: clustering applied to each scenario",
+		Headers: []string{"scenario", "cluster", "quantum", "#pCPUs", "members"},
+	}
+	for _, sc := range r.Scenarios {
+		for _, c := range sc.Clusters {
+			byVariant := map[string]int{}
+			for _, m := range c.Members {
+				byVariant[m.Variant()]++
+			}
+			keys := make([]string, 0, len(byVariant))
+			for k := range byVariant {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			line := ""
+			for i, k := range keys {
+				if i > 0 {
+					line += ", "
+				}
+				line += fmt.Sprintf("%d %s", byVariant[k], k)
+			}
+			t.AddRow(sc.Name, c.Name, c.Quantum.String(), len(c.PCPUs), line)
+		}
+	}
+	return t
+}

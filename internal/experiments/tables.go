@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"io"
+
+	"aqlsched/internal/report"
+	"aqlsched/internal/scenario"
+)
+
+// Table4 renders the colocation scenarios (experiment inputs).
+func Table4(cfg Config) *report.Table {
+	t := &report.Table{
+		Title:   "Table 4: colocation scenarios (16 vCPUs on 4 pCPUs)",
+		Headers: []string{"scenario", "application", "type", "VMs", "vCPUs"},
+	}
+	for _, spec := range scenario.Table4(cfg.seed()) {
+		for _, e := range spec.Apps {
+			vcpus := e.Count
+			if e.Spec.Threads > 0 {
+				vcpus = e.Count * e.Spec.Threads
+			}
+			t.AddRow(spec.Name, e.Spec.Name, e.Spec.Expected.String(), e.Count, vcpus)
+		}
+	}
+	return t
+}
+
+// Table6 renders the qualitative feature comparison of the paper.
+func Table6() *report.Table {
+	t := &report.Table{
+		Title: "Table 6: AQL_Sched compared with existing solutions",
+		Headers: []string{
+			"solution", "dynamic type recognition", "handled types", "overhead", "hardware change",
+		},
+	}
+	t.AddRow("vTurbo", "not supported", "IO", "no overhead", "no")
+	t.AddRow("vSlicer", "not supported", "IO", "no overhead", "no")
+	t.AddRow("Microsliced", "not supported", "IO, spin-lock", "overhead for CPU-burn apps", "yes")
+	t.AddRow("Xen BOOST", "supported", "IO", "no overhead", "no")
+	t.AddRow("AQL_Sched", "supported", "IO, spin-lock, CPU burn", "no overhead", "no")
+	return t
+}
+
+// All runs every experiment and renders the full evaluation to w.
+func All(cfg Config, w io.Writer) {
+	Table4(cfg).Render(w)
+
+	f2 := Fig2(cfg)
+	for _, t := range f2.Tables() {
+		t.Render(w)
+	}
+
+	f4 := Fig4(cfg)
+	f4.Table().Render(w)
+
+	t3 := Table3(cfg)
+	t3.Table().Render(w)
+
+	f5 := Fig5(cfg)
+	f5.Table().Render(w)
+
+	ss := SingleSocket(cfg)
+	ss.Table5Table().Render(w)
+	ss.Fig6LeftTable().Render(w)
+
+	f6r := Fig6Right(cfg)
+	f6r.Table().Render(w)
+
+	f7 := Fig7(cfg)
+	f7.Table().Render(w)
+
+	f8 := Fig8(cfg)
+	f8.Table().Render(w)
+
+	Table6().Render(w)
+
+	ov := Overhead(cfg)
+	ov.Table().Render(w)
+}

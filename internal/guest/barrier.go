@@ -1,0 +1,53 @@
+package guest
+
+import "fmt"
+
+// Barrier is an N-thread phase barrier built on a counting semaphore,
+// the blocking join structure of fork/join applications (kernbench's
+// make jobs, PARSEC's frame barriers). Under consolidation its round
+// time is governed by the *straggler*: the last thread to get pCPU time
+// — a delay that grows with the quantum length, which is exactly why
+// concurrent applications prefer short quanta even beyond the
+// lock-holder-preemption effect.
+//
+// Usage from a Program state machine:
+//
+//	if last, _ := b.Arrive(); last {
+//	    emit (N-1) ActSemV actions on b.Sem()
+//	} else {
+//	    emit one ActSemP action on b.Sem()
+//	}
+type Barrier struct {
+	n       int
+	arrived int
+	sem     *Semaphore
+	rounds  uint64
+}
+
+// NewBarrier builds a barrier for n threads.
+func NewBarrier(name string, n int) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("guest: barrier of %d threads", n))
+	}
+	return &Barrier{n: n, sem: NewSemaphore(name+".sem", 0)}
+}
+
+// Sem exposes the underlying semaphore for P/V actions.
+func (b *Barrier) Sem() *Semaphore { return b.sem }
+
+// Arrive registers one arrival. It returns last=true for the arrival
+// that completes the round (that thread must V the semaphore n-1
+// times); every other arriver must P once. Releases counts completed
+// rounds.
+func (b *Barrier) Arrive() (last bool, waiters int) {
+	b.arrived++
+	if b.arrived >= b.n {
+		b.arrived = 0
+		b.rounds++
+		return true, b.n - 1
+	}
+	return false, b.n - 1
+}
+
+// Rounds reports how many rounds completed.
+func (b *Barrier) Rounds() uint64 { return b.rounds }

@@ -1,0 +1,159 @@
+// Package guest models the guest operating system inside a VM: threads,
+// per-vCPU run queues, interrupt handlers, spin-locks and blocking
+// semaphores.
+//
+// The paper's framing (Section 3.1) is that "a vCPU type at a given
+// instant is the type of the thread using the vCPU at that instant", and
+// its three problem mechanisms all live at the guest/hypervisor boundary:
+//
+//   - interrupt handling: an IO event delivered to a descheduled vCPU
+//     waits for the hypervisor to run that vCPU again (Fig. 1);
+//   - lock-holder preemption: a guest thread holding a spin-lock keeps
+//     it while its vCPU is descheduled, so sibling vCPUs burn their
+//     quanta spinning (Section 3.2);
+//   - guest-level scheduling is invisible to the hypervisor.
+//
+// The guest therefore exposes exactly what the hypervisor layer needs:
+// "what would this vCPU do right now" (NextStep) plus notifications for
+// IO delivery and burst completion. Threads are bound to vCPUs; IRQ
+// handler threads preempt normal threads within a vCPU.
+package guest
+
+import (
+	"aqlsched/internal/cache"
+	"aqlsched/internal/sim"
+)
+
+// GuestSlice is the guest kernel's internal round-robin slice used when
+// several normal threads share one vCPU.
+const GuestSlice = 3 * sim.Millisecond
+
+// maxInterpret bounds action-interpretation loops so a misbehaving
+// program (e.g. releasing an unheld lock forever) fails fast.
+const maxInterpret = 256
+
+// ThreadState enumerates guest thread states.
+type ThreadState int
+
+const (
+	// Ready: runnable, waiting in its vCPU's queue.
+	Ready ThreadState = iota
+	// Spinning: busy-waiting for a spin-lock (runnable: burns CPU).
+	Spinning
+	// BlockedIO: waiting for an event-channel notification.
+	BlockedIO
+	// BlockedSem: waiting on a semaphore.
+	BlockedSem
+	// Sleeping: waiting for a timer.
+	Sleeping
+	// Dead: exited.
+	Dead
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Spinning:
+		return "spinning"
+	case BlockedIO:
+		return "blocked-io"
+	case BlockedSem:
+		return "blocked-sem"
+	case Sleeping:
+		return "sleeping"
+	case Dead:
+		return "dead"
+	}
+	return "?"
+}
+
+// ActionKind enumerates what a program can ask its thread to do next.
+type ActionKind int
+
+const (
+	// ActCompute: execute Work ideal time with memory profile Prof.
+	ActCompute ActionKind = iota
+	// ActAcquire: take the spin-lock (spin while held elsewhere).
+	ActAcquire
+	// ActRelease: release the spin-lock.
+	ActRelease
+	// ActSemP: semaphore down (block while unavailable).
+	ActSemP
+	// ActSemV: semaphore up.
+	ActSemV
+	// ActWaitIO: block until an event arrives on Port.
+	ActWaitIO
+	// ActSleep: block for Dur.
+	ActSleep
+	// ActExit: terminate the thread.
+	ActExit
+)
+
+// Action is one instruction from a Program to the guest kernel.
+type Action struct {
+	Kind ActionKind
+	Work sim.Time
+	Prof cache.Profile
+	Lock *SpinLock
+	Sem  *Semaphore
+	Port int
+	Dur  sim.Time
+}
+
+// Program drives a thread. Next is called whenever the previous action
+// has fully completed; it must return the next action.
+type Program interface {
+	Next(t *Thread, now sim.Time) Action
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(t *Thread, now sim.Time) Action
+
+// Next calls f.
+func (f ProgramFunc) Next(t *Thread, now sim.Time) Action { return f(t, now) }
+
+// Thread is one guest thread, bound to one vCPU.
+type Thread struct {
+	Name string
+	OS   *OS
+	CPU  int  // index of the vCPU this thread is bound to
+	IRQ  bool // IRQ-handler class: preempts normal threads on its vCPU
+
+	prog      Program
+	state     ThreadState
+	action    Action
+	remaining sim.Time // work left in the current compute action
+
+	// sliceUsed accumulates ideal work since the thread last took the
+	// CPU; the guest rotates it out only when a full GuestSlice is
+	// consumed, so a thread keeps the CPU across action boundaries
+	// (critically: it finishes its lock critical sections instead of
+	// parking behind a sibling while holding the lock).
+	sliceUsed  sim.Time
+	preferHead bool
+
+	// Jobs counts completed work units; programs increment it so
+	// throughput metrics can be derived without knowing the program.
+	Jobs uint64
+
+	// FP is the thread's cache footprint, owned by the hypervisor's
+	// cache model (threads are the true cache occupants; a vCPU's cache
+	// behaviour at an instant is its current thread's).
+	FP cache.Footprint
+
+	// OnCPU is maintained by the hypervisor: true while the thread is
+	// the subject of an in-flight burst on a pCPU. Spin-locks use it to
+	// prefer granting to a waiter that can proceed immediately
+	// (preemptable-ticket semantics, avoiding convoys on descheduled
+	// waiters — [39] in the paper).
+	OnCPU bool
+
+	queued bool // present in its CPU's ready queue
+}
+
+// State reports the thread's current state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// Remaining reports work left in the current compute action (tests).
+func (t *Thread) Remaining() sim.Time { return t.remaining }

@@ -1,0 +1,72 @@
+package hw
+
+// Counters is the per-vCPU performance-monitoring block. The simulator's
+// execution and cache models increment these exactly where real hardware
+// and the Xen event-channel machinery would, and the vCPU type
+// recognition system (vTRS) reads and resets them each monitoring
+// period, mirroring the perfctr-xen based monitors of Section 3.3.2.
+type Counters struct {
+	// Instructions retired (in abstract work units; the model uses one
+	// unit per nominal nanosecond of ideal execution).
+	Instructions uint64
+	// LLCReferences counts loads that reached the last-level cache.
+	LLCReferences uint64
+	// LLCMisses counts LLC references that missed to memory.
+	LLCMisses uint64
+	// IOEvents counts event-channel notifications bound for this vCPU
+	// (the IO request counter of the IOInt monitor).
+	IOEvents uint64
+	// PauseLoops counts PAUSE-loop exits (spin iterations trapped by the
+	// hardware's Pause Loop Exiting feature).
+	PauseLoops uint64
+	// LockOps counts spin-lock acquisitions performed by the vCPU (the
+	// ConSpin monitor: the paper's hypercall wrapper around the guest
+	// spin-lock API, Section 3.3.2).
+	LockOps uint64
+	// StolenTime accumulates time the vCPU spent runnable but not
+	// running (used by overhead diagnostics, not by vTRS).
+	StolenTime uint64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Instructions += other.Instructions
+	c.LLCReferences += other.LLCReferences
+	c.LLCMisses += other.LLCMisses
+	c.IOEvents += other.IOEvents
+	c.PauseLoops += other.PauseLoops
+	c.LockOps += other.LockOps
+	c.StolenTime += other.StolenTime
+}
+
+// Sub returns c - other, counter-wise. Used to compute per-period deltas
+// from free-running counters.
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		Instructions:  c.Instructions - other.Instructions,
+		LLCReferences: c.LLCReferences - other.LLCReferences,
+		LLCMisses:     c.LLCMisses - other.LLCMisses,
+		IOEvents:      c.IOEvents - other.IOEvents,
+		PauseLoops:    c.PauseLoops - other.PauseLoops,
+		LockOps:       c.LockOps - other.LockOps,
+		StolenTime:    c.StolenTime - other.StolenTime,
+	}
+}
+
+// LLCMissRatio reports misses per reference in [0,1]; zero when the
+// period had no LLC references.
+func (c Counters) LLCMissRatio() float64 {
+	if c.LLCReferences == 0 {
+		return 0
+	}
+	return float64(c.LLCMisses) / float64(c.LLCReferences)
+}
+
+// LLCRefRatio reports LLC references per instruction; zero when the
+// period retired no instructions.
+func (c Counters) LLCRefRatio() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.LLCReferences) / float64(c.Instructions)
+}

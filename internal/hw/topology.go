@@ -1,0 +1,126 @@
+// Package hw models the physical machine the hypervisor manages:
+// sockets, cores (pCPUs), the cache hierarchy geometry, and the per-vCPU
+// performance-monitoring-unit (PMU) counter block the recognition system
+// reads.
+//
+// Two concrete machines from the paper are provided: the single-socket
+// Intel i7-3770 used for calibration and the single-socket experiments
+// (Table 2), and the four-socket Xeon E5-4603 used for the multi-socket
+// experiment (Section 4.2).
+package hw
+
+import (
+	"fmt"
+
+	"aqlsched/internal/sim"
+)
+
+// Sizes in bytes.
+const (
+	KB int64 = 1024
+	MB int64 = 1024 * KB
+	GB int64 = 1024 * MB
+)
+
+// CacheSpec describes one level of the cache hierarchy.
+type CacheSpec struct {
+	Size      int64 // capacity in bytes
+	Ways      int   // associativity
+	LineSize  int64 // bytes per line
+	LatencyNS int64 // load-to-use latency in nanoseconds
+	SharedLLC bool  // true when this level is shared per socket
+}
+
+// Topology describes the machine geometry and memory system parameters
+// used by the cache/performance model.
+type Topology struct {
+	Sockets        int
+	CoresPerSocket int
+
+	L1  CacheSpec
+	L2  CacheSpec
+	LLC CacheSpec
+
+	// MemLatencyNS is the LLC-miss (DRAM) load latency in nanoseconds.
+	MemLatencyNS int64
+	// MemBandwidth is the per-socket fill bandwidth in bytes per second,
+	// bounding how fast a working set can be re-installed in the LLC.
+	MemBandwidth int64
+	// CtxSwitchCost is the direct hypervisor context-switch cost
+	// (register state, runqueue manipulation) per dispatch.
+	CtxSwitchCost sim.Time
+}
+
+// TotalPCPUs reports the number of physical CPUs.
+func (t *Topology) TotalPCPUs() int { return t.Sockets * t.CoresPerSocket }
+
+// Validate reports an error when the topology is not usable.
+func (t *Topology) Validate() error {
+	switch {
+	case t.Sockets <= 0:
+		return fmt.Errorf("hw: topology needs at least one socket, got %d", t.Sockets)
+	case t.CoresPerSocket <= 0:
+		return fmt.Errorf("hw: topology needs at least one core per socket, got %d", t.CoresPerSocket)
+	case t.LLC.Size <= 0:
+		return fmt.Errorf("hw: LLC size must be positive, got %d", t.LLC.Size)
+	case t.L2.Size <= 0 || t.L1.Size <= 0:
+		return fmt.Errorf("hw: L1/L2 sizes must be positive")
+	case t.MemBandwidth <= 0:
+		return fmt.Errorf("hw: memory bandwidth must be positive")
+	case t.MemLatencyNS <= 0:
+		return fmt.Errorf("hw: memory latency must be positive")
+	}
+	return nil
+}
+
+// I73770 returns the calibration machine from Table 2 of the paper:
+// one socket, 8 cores, 32 KB L1D, 256 KB L2, 8 MB 20-way LLC, 8 GB RAM.
+func I73770() *Topology {
+	return &Topology{
+		Sockets:        1,
+		CoresPerSocket: 8,
+		L1:             CacheSpec{Size: 32 * KB, Ways: 8, LineSize: 64, LatencyNS: 1},
+		L2:             CacheSpec{Size: 256 * KB, Ways: 8, LineSize: 64, LatencyNS: 4},
+		LLC:            CacheSpec{Size: 8 * MB, Ways: 20, LineSize: 64, LatencyNS: 12, SharedLLC: true},
+		MemLatencyNS:   80,
+		MemBandwidth:   12 * GB,
+		CtxSwitchCost:  3 * sim.Microsecond,
+	}
+}
+
+// XeonE54603 returns the four-socket machine used in Section 4.2:
+// 4 sockets x 4 cores, 10 MB LLC per socket.
+func XeonE54603() *Topology {
+	return &Topology{
+		Sockets:        4,
+		CoresPerSocket: 4,
+		L1:             CacheSpec{Size: 32 * KB, Ways: 8, LineSize: 64, LatencyNS: 1},
+		L2:             CacheSpec{Size: 256 * KB, Ways: 8, LineSize: 64, LatencyNS: 4},
+		LLC:            CacheSpec{Size: 10 * MB, Ways: 20, LineSize: 64, LatencyNS: 14, SharedLLC: true},
+		MemLatencyNS:   95,
+		MemBandwidth:   10 * GB,
+		CtxSwitchCost:  3 * sim.Microsecond,
+	}
+}
+
+// PCPUID identifies one physical CPU.
+type PCPUID int
+
+// SocketID identifies one socket.
+type SocketID int
+
+// SocketOf reports which socket a pCPU belongs to. pCPUs are numbered
+// socket-major: socket s owns pCPUs [s*CoresPerSocket, (s+1)*CoresPerSocket).
+func (t *Topology) SocketOf(p PCPUID) SocketID {
+	return SocketID(int(p) / t.CoresPerSocket)
+}
+
+// PCPUsOfSocket lists the pCPU IDs belonging to socket s.
+func (t *Topology) PCPUsOfSocket(s SocketID) []PCPUID {
+	out := make([]PCPUID, 0, t.CoresPerSocket)
+	base := int(s) * t.CoresPerSocket
+	for i := 0; i < t.CoresPerSocket; i++ {
+		out = append(out, PCPUID(base+i))
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReferenceMachinesValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		top  *Topology
+	}{
+		{"i7-3770", I73770()},
+		{"Xeon E5-4603", XeonE54603()},
+	} {
+		if err := tc.top.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestI73770MatchesTable2(t *testing.T) {
+	top := I73770()
+	if top.Sockets != 1 || top.CoresPerSocket != 8 {
+		t.Errorf("i7-3770: %d sockets x %d cores, want 1x8", top.Sockets, top.CoresPerSocket)
+	}
+	if top.LLC.Size != 8*MB {
+		t.Errorf("LLC size %d, want 8 MB", top.LLC.Size)
+	}
+	if top.LLC.Ways != 20 {
+		t.Errorf("LLC ways %d, want 20", top.LLC.Ways)
+	}
+	if top.L2.Size != 256*KB || top.L1.Size != 32*KB {
+		t.Errorf("L1/L2 sizes %d/%d, want 32KB/256KB", top.L1.Size, top.L2.Size)
+	}
+}
+
+func TestXeonHasFourSockets(t *testing.T) {
+	top := XeonE54603()
+	if top.Sockets != 4 || top.CoresPerSocket != 4 {
+		t.Errorf("Xeon: %d sockets x %d cores, want 4x4", top.Sockets, top.CoresPerSocket)
+	}
+	if top.TotalPCPUs() != 16 {
+		t.Errorf("TotalPCPUs = %d, want 16", top.TotalPCPUs())
+	}
+}
+
+func TestValidateRejectsBadTopologies(t *testing.T) {
+	good := I73770()
+	cases := []func(*Topology){
+		func(t *Topology) { t.Sockets = 0 },
+		func(t *Topology) { t.CoresPerSocket = -1 },
+		func(t *Topology) { t.LLC.Size = 0 },
+		func(t *Topology) { t.L2.Size = 0 },
+		func(t *Topology) { t.MemBandwidth = 0 },
+		func(t *Topology) { t.MemLatencyNS = 0 },
+	}
+	for i, mutate := range cases {
+		top := *good
+		mutate(&top)
+		if err := top.Validate(); err == nil {
+			t.Errorf("case %d: bad topology validated", i)
+		}
+	}
+}
+
+func TestSocketOfMapping(t *testing.T) {
+	top := XeonE54603()
+	cases := []struct {
+		p    PCPUID
+		want SocketID
+	}{
+		{0, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {15, 3},
+	}
+	for _, c := range cases {
+		if got := top.SocketOf(c.p); got != c.want {
+			t.Errorf("SocketOf(%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPCPUsOfSocket(t *testing.T) {
+	top := XeonE54603()
+	got := top.PCPUsOfSocket(2)
+	want := []PCPUID{8, 9, 10, 11}
+	if len(got) != len(want) {
+		t.Fatalf("PCPUsOfSocket(2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PCPUsOfSocket(2) = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: every pCPU maps to the socket that lists it.
+func TestSocketMappingRoundTripProperty(t *testing.T) {
+	f := func(sockets, cores uint8) bool {
+		top := &Topology{Sockets: int(sockets%6) + 1, CoresPerSocket: int(cores%8) + 1}
+		for p := 0; p < top.TotalPCPUs(); p++ {
+			s := top.SocketOf(PCPUID(p))
+			found := false
+			for _, q := range top.PCPUsOfSocket(s) {
+				if q == PCPUID(p) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountersDeltaAndRatios(t *testing.T) {
+	a := Counters{Instructions: 1000, LLCReferences: 100, LLCMisses: 25, IOEvents: 3, PauseLoops: 7}
+	b := Counters{Instructions: 4000, LLCReferences: 400, LLCMisses: 100, IOEvents: 10, PauseLoops: 20}
+	d := b.Sub(a)
+	if d.Instructions != 3000 || d.LLCReferences != 300 || d.LLCMisses != 75 {
+		t.Errorf("delta = %+v", d)
+	}
+	if got := d.LLCMissRatio(); got != 0.25 {
+		t.Errorf("LLCMissRatio = %v, want 0.25", got)
+	}
+	if got := d.LLCRefRatio(); got != 0.1 {
+		t.Errorf("LLCRefRatio = %v, want 0.1", got)
+	}
+	var zero Counters
+	if zero.LLCMissRatio() != 0 || zero.LLCRefRatio() != 0 {
+		t.Error("zero counters must have zero ratios")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Instructions: 1, LLCReferences: 2, LLCMisses: 3, IOEvents: 4, PauseLoops: 5, StolenTime: 6}
+	b := a
+	b.Add(a)
+	if b.Instructions != 2 || b.LLCReferences != 4 || b.LLCMisses != 6 ||
+		b.IOEvents != 8 || b.PauseLoops != 10 || b.StolenTime != 12 {
+		t.Errorf("Add result %+v", b)
+	}
+}

@@ -1,0 +1,188 @@
+// Package iodev models the IO path of the split-driver architecture
+// (Section 3.3.2 and Fig. 1): requests arrive at a virtual device, pass
+// through the driver domain (a fixed forwarding delay standing in for
+// dom0's pinned, uncontended cores), raise an event-channel notification
+// into the guest, and are finally served by a guest handler thread.
+// Request latency — the IOInt metric of the paper — is measured from
+// device arrival to guest service completion, so it includes exactly the
+// hypervisor scheduling delays the paper manipulates.
+package iodev
+
+import (
+	"fmt"
+
+	"aqlsched/internal/metrics"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/xen"
+)
+
+// ForwardDelay is the driver-domain (dom0) processing delay per request.
+// The paper pins dom0 to dedicated cores, so this path is uncontended
+// and constant.
+const ForwardDelay = 30 * sim.Microsecond
+
+// Server is the guest-side request queue for one port: the device pushes
+// arrival timestamps, the handler program pops them and reports
+// completions.
+type Server struct {
+	Name string
+	Port int
+	// Lat collects request latencies (arrival to completion).
+	Lat *metrics.Histogram
+
+	arrivals []sim.Time
+	dropped  uint64
+	// onComplete, when set, is invoked at each completion (closed-loop
+	// clients use it to issue the next request).
+	onComplete func(now sim.Time)
+}
+
+// NewServer returns an empty server for the given port.
+func NewServer(name string, port int) *Server {
+	return &Server{Name: name, Port: port, Lat: metrics.NewHistogram()}
+}
+
+// Push records a request arrival (device side).
+func (s *Server) Push(at sim.Time) { s.arrivals = append(s.arrivals, at) }
+
+// Take pops the oldest pending arrival. It panics when empty: the
+// handler must only Take after a successful event wait.
+func (s *Server) Take() sim.Time {
+	if len(s.arrivals) == 0 {
+		panic(fmt.Sprintf("iodev: %s: Take with no pending request", s.Name))
+	}
+	at := s.arrivals[0]
+	s.arrivals = s.arrivals[1:]
+	return at
+}
+
+// Pending reports queued, un-served arrivals.
+func (s *Server) Pending() int { return len(s.arrivals) }
+
+// Complete records a finished request that arrived at `arrived`.
+func (s *Server) Complete(arrived, now sim.Time) {
+	s.Lat.Record(now - arrived)
+	if s.onComplete != nil {
+		s.onComplete(now)
+	}
+}
+
+// PoissonSource drives a server with open-loop Poisson arrivals, the
+// standard model for an internet-facing service (SPECweb-like load).
+type PoissonSource struct {
+	h    *xen.Hypervisor
+	dom  *xen.Domain
+	srv  *Server
+	mean sim.Time // mean inter-arrival
+	rng  *sim.RNG
+
+	issued  uint64
+	stopped bool
+}
+
+// NewPoissonSource builds a source issuing ratePerSec requests per
+// second on average.
+func NewPoissonSource(h *xen.Hypervisor, dom *xen.Domain, srv *Server, ratePerSec float64, rng *sim.RNG) *PoissonSource {
+	if ratePerSec <= 0 {
+		panic("iodev: non-positive request rate")
+	}
+	return &PoissonSource{
+		h:    h,
+		dom:  dom,
+		srv:  srv,
+		mean: sim.Time(float64(sim.Second) / ratePerSec),
+		rng:  rng,
+	}
+}
+
+// Start begins issuing requests.
+func (p *PoissonSource) Start() {
+	p.scheduleNext()
+}
+
+// Stop ceases issuing after the next pending arrival.
+func (p *PoissonSource) Stop() { p.stopped = true }
+
+// Issued reports the number of requests issued so far.
+func (p *PoissonSource) Issued() uint64 { return p.issued }
+
+func (p *PoissonSource) scheduleNext() {
+	p.h.Engine.After(p.rng.ExpTime(p.mean), func(now sim.Time) {
+		if p.stopped {
+			return
+		}
+		p.issue(now)
+		p.scheduleNext()
+	})
+}
+
+func (p *PoissonSource) issue(now sim.Time) {
+	p.issued++
+	p.srv.Push(now)
+	// Driver-domain forwarding, then the event-channel upcall.
+	p.h.Engine.After(ForwardDelay, func(t sim.Time) {
+		p.h.NotifyIO(p.dom, p.srv.Port, t)
+	})
+}
+
+// ClosedLoopSource models N clients that each keep one request in
+// flight, thinking for a fixed time between completion and re-issue
+// (SPECmail-like corporate load).
+type ClosedLoopSource struct {
+	h     *xen.Hypervisor
+	dom   *xen.Domain
+	srv   *Server
+	think sim.Time
+	rng   *sim.RNG
+
+	clients int
+	issued  uint64
+	stopped bool
+}
+
+// NewClosedLoopSource builds a closed-loop source with the given client
+// count and mean think time.
+func NewClosedLoopSource(h *xen.Hypervisor, dom *xen.Domain, srv *Server, clients int, think sim.Time, rng *sim.RNG) *ClosedLoopSource {
+	if clients <= 0 {
+		panic("iodev: closed loop needs at least one client")
+	}
+	c := &ClosedLoopSource{h: h, dom: dom, srv: srv, think: think, rng: rng, clients: clients}
+	srv.onComplete = c.completed
+	return c
+}
+
+// Start issues the initial burst (one request per client, jittered).
+func (c *ClosedLoopSource) Start() {
+	for i := 0; i < c.clients; i++ {
+		c.h.Engine.After(c.rng.ExpTime(c.think), func(now sim.Time) {
+			if !c.stopped {
+				c.issue(now)
+			}
+		})
+	}
+}
+
+// Stop ends the loop: completions no longer re-issue.
+func (c *ClosedLoopSource) Stop() { c.stopped = true }
+
+// Issued reports the number of requests issued so far.
+func (c *ClosedLoopSource) Issued() uint64 { return c.issued }
+
+func (c *ClosedLoopSource) completed(now sim.Time) {
+	if c.stopped {
+		return
+	}
+	c.h.Engine.After(c.rng.ExpTime(c.think), func(t sim.Time) {
+		if !c.stopped {
+			c.issue(t)
+		}
+	})
+}
+
+func (c *ClosedLoopSource) issue(now sim.Time) {
+	c.issued++
+	c.srv.Push(now)
+	c.h.Engine.After(ForwardDelay, func(t sim.Time) {
+		c.h.NotifyIO(c.dom, c.srv.Port, t)
+	})
+}

@@ -1,0 +1,120 @@
+package iodev_test
+
+import (
+	"testing"
+
+	"aqlsched/internal/cache"
+	"aqlsched/internal/credit"
+	"aqlsched/internal/hw"
+	"aqlsched/internal/iodev"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/workload"
+	"aqlsched/internal/xen"
+)
+
+func newIdleHyp() *xen.Hypervisor {
+	return xen.New(hw.I73770(), credit.New(), 9, xen.WithGuestPCPUs([]hw.PCPUID{0}))
+}
+
+func TestServerQueueSemantics(t *testing.T) {
+	s := iodev.NewServer("s", 1)
+	s.Push(100)
+	s.Push(200)
+	if s.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", s.Pending())
+	}
+	if at := s.Take(); at != 100 {
+		t.Errorf("Take = %v, want FIFO 100", at)
+	}
+	s.Complete(200, 450)
+	if s.Lat.Count() != 1 || s.Lat.Mean() != 250 {
+		t.Errorf("latency recorded %v (n=%d), want 250", s.Lat.Mean(), s.Lat.Count())
+	}
+}
+
+func TestServerTakeEmptyPanics(t *testing.T) {
+	s := iodev.NewServer("s", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Take on empty server did not panic")
+		}
+	}()
+	s.Take()
+}
+
+func TestPoissonSourceRateAndLatencyPath(t *testing.T) {
+	h := newIdleHyp()
+	d := h.CreateDomain("web", 256, 0, 1)
+	srv := iodev.NewServer("web", 1)
+	d.OS.Spawn("handler", 0, true,
+		workload.NewHandler(srv, 100*sim.Microsecond, cache.Profile{WSS: 32 * hw.KB}), 0)
+	src := iodev.NewPoissonSource(h, d, srv, 500, sim.NewRNG(3))
+	src.Start()
+	h.Run(4 * sim.Second)
+	// ~2000 requests expected over 4s at 500/s.
+	if n := srv.Lat.Count(); n < 1700 || n > 2300 {
+		t.Errorf("served %d requests, want ~2000", n)
+	}
+	// Idle machine: latency = forward delay + ctx switch + service.
+	if m := srv.Lat.Mean(); m > 400*sim.Microsecond {
+		t.Errorf("idle-machine mean latency %v, want < 400µs", m)
+	}
+	if src.Issued() == 0 {
+		t.Error("source reports zero issued")
+	}
+}
+
+func TestPoissonSourceStop(t *testing.T) {
+	h := newIdleHyp()
+	d := h.CreateDomain("web", 256, 0, 1)
+	srv := iodev.NewServer("web", 1)
+	d.OS.Spawn("handler", 0, true,
+		workload.NewHandler(srv, 50*sim.Microsecond, cache.Profile{WSS: 32 * hw.KB}), 0)
+	src := iodev.NewPoissonSource(h, d, srv, 1000, sim.NewRNG(5))
+	src.Start()
+	h.Run(1 * sim.Second)
+	src.Stop()
+	at := src.Issued()
+	h.Run(2 * sim.Second)
+	if src.Issued() > at+1 {
+		t.Errorf("source kept issuing after Stop: %d -> %d", at, src.Issued())
+	}
+}
+
+func TestClosedLoopKeepsBoundedOutstanding(t *testing.T) {
+	h := newIdleHyp()
+	d := h.CreateDomain("mail", 256, 0, 1)
+	srv := iodev.NewServer("mail", 1)
+	d.OS.Spawn("handler", 0, true,
+		workload.NewHandler(srv, 200*sim.Microsecond, cache.Profile{WSS: 32 * hw.KB}), 0)
+	src := iodev.NewClosedLoopSource(h, d, srv, 8, 10*sim.Millisecond, sim.NewRNG(7))
+	src.Start()
+	h.Run(3 * sim.Second)
+	// 8 clients, ~10.2ms cycle: ~780/s -> ~2300 over 3s.
+	if n := srv.Lat.Count(); n < 1500 || n > 3000 {
+		t.Errorf("closed loop served %d, want ~2300", n)
+	}
+	if srv.Pending() > 8 {
+		t.Errorf("pending %d exceeds client population 8", srv.Pending())
+	}
+}
+
+func TestClosedLoopThrottlesUnderLoad(t *testing.T) {
+	// A saturated server must not accumulate unbounded backlog: the
+	// closed loop self-throttles to the service rate.
+	h := newIdleHyp()
+	d := h.CreateDomain("mail", 256, 0, 1)
+	srv := iodev.NewServer("mail", 1)
+	d.OS.Spawn("handler", 0, true,
+		workload.NewHandler(srv, 5*sim.Millisecond, cache.Profile{WSS: 32 * hw.KB}), 0)
+	src := iodev.NewClosedLoopSource(h, d, srv, 16, 1*sim.Millisecond, sim.NewRNG(9))
+	src.Start()
+	h.Run(3 * sim.Second)
+	if srv.Pending() > 16 {
+		t.Errorf("backlog %d despite closed loop (16 clients)", srv.Pending())
+	}
+	// Service-bound throughput: ~200/s.
+	if n := srv.Lat.Count(); n < 400 || n > 800 {
+		t.Errorf("served %d over 3s, want ~600 (service bound)", n)
+	}
+}

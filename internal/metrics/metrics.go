@@ -1,0 +1,110 @@
+// Package metrics provides the measurement primitives the evaluation
+// harness uses: latency histograms for IO-intensive applications,
+// throughput snapshots for batch applications, and normalized
+// performance helpers matching the paper's presentation (values are
+// normalized over a baseline run; lower is better).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"aqlsched/internal/sim"
+)
+
+// Histogram collects duration samples (e.g. request latencies).
+type Histogram struct {
+	samples []sim.Time
+	sum     sim.Time
+	max     sim.Time
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Record adds one sample.
+func (h *Histogram) Record(d sim.Time) {
+	h.samples = append(h.samples, d)
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Reset discards all samples (used to cut off warm-up).
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sum = 0
+	h.max = 0
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean reports the average sample, or 0 with no samples.
+func (h *Histogram) Mean() sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(len(h.samples))
+}
+
+// Max reports the largest sample.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Percentile reports the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of (0,100]", p))
+	}
+	cp := make([]sim.Time, len(h.samples))
+	copy(cp, h.samples)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := int(p/100*float64(len(cp))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// JobSnapshot is a (time, jobs-completed) pair for rate computation.
+type JobSnapshot struct {
+	At   sim.Time
+	Jobs uint64
+}
+
+// Rate reports jobs per second between two snapshots.
+func Rate(a, b JobSnapshot) float64 {
+	dt := b.At - a.At
+	if dt <= 0 {
+		return 0
+	}
+	return float64(b.Jobs-a.Jobs) / dt.Seconds()
+}
+
+// Normalized converts a measured value and its baseline into the
+// paper's normalized performance: measured/baseline for lower-is-better
+// quantities (latency, time-per-job). A value below 1 means the measured
+// configuration performed better than the baseline.
+func Normalized(measured, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return measured / baseline
+}
+
+// NormalizedFromRates converts throughputs (higher is better) into the
+// paper's lower-is-better normalized form: baselineRate/measuredRate is
+// the relative time-per-job.
+func NormalizedFromRates(measuredRate, baselineRate float64) float64 {
+	if measuredRate == 0 {
+		return 0
+	}
+	return baselineRate / measuredRate
+}

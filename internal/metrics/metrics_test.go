@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aqlsched/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram not zeroed")
+	}
+	for _, v := range []sim.Time{10, 20, 30, 40, 50} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count %d, want 5", h.Count())
+	}
+	if h.Mean() != 30 {
+		t.Errorf("mean %v, want 30", h.Mean())
+	}
+	if h.Max() != 50 {
+		t.Errorf("max %v, want 50", h.Max())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Time(i))
+	}
+	if p := h.Percentile(50); p < 49 || p > 51 {
+		t.Errorf("p50 = %v, want ~50", p)
+	}
+	if p := h.Percentile(99); p < 98 || p > 100 {
+		t.Errorf("p99 = %v, want ~99", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Errorf("p100 = %v, want 100", p)
+	}
+}
+
+func TestHistogramPercentileEmptyAndBounds(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+	h.Record(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("percentile(0) did not panic")
+		}
+	}()
+	h.Percentile(0)
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestRate(t *testing.T) {
+	a := JobSnapshot{At: 1 * sim.Second, Jobs: 100}
+	b := JobSnapshot{At: 3 * sim.Second, Jobs: 300}
+	if r := Rate(a, b); r != 100 {
+		t.Errorf("rate %v, want 100/s", r)
+	}
+	if r := Rate(b, b); r != 0 {
+		t.Errorf("zero-window rate %v, want 0", r)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if n := Normalized(50, 100); n != 0.5 {
+		t.Errorf("Normalized = %v, want 0.5", n)
+	}
+	if n := Normalized(50, 0); n != 0 {
+		t.Errorf("zero baseline = %v, want 0", n)
+	}
+	if n := NormalizedFromRates(200, 100); n != 0.5 {
+		t.Errorf("NormalizedFromRates = %v, want 0.5 (2x faster)", n)
+	}
+	if n := NormalizedFromRates(0, 100); n != 0 {
+		t.Errorf("zero rate = %v, want 0", n)
+	}
+}
+
+// Property: mean is within [min, max] and percentiles are monotone.
+func TestHistogramInvariantsProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		min, max := sim.Time(vals[0]), sim.Time(vals[0])
+		for _, v := range vals {
+			tv := sim.Time(v)
+			h.Record(tv)
+			if tv < min {
+				min = tv
+			}
+			if tv > max {
+				max = tv
+			}
+		}
+		if h.Mean() < min || h.Mean() > max {
+			return false
+		}
+		last := sim.Time(0)
+		for _, p := range []float64{10, 25, 50, 75, 90, 99, 100} {
+			v := h.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return h.Max() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

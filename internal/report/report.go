@@ -1,0 +1,165 @@
+// Package report renders experiment results as fixed-width text tables
+// and ASCII bar charts — the textual equivalents of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row (stringifying each cell).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			wd := 0
+			if i < len(widths) {
+				wd = widths[i]
+			}
+			parts[i] = pad(c, wd)
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(t.Headers)
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders a horizontal ASCII bar scaled so that max fills width.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n)
+}
+
+// BarChart renders labelled normalized bars with a reference mark at
+// 1.0 (the paper's figures all normalize over default Xen; lower is
+// better).
+type BarChart struct {
+	Title string
+	Items []BarItem
+	// Width of the largest bar in characters.
+	Width int
+}
+
+// BarItem is one bar.
+type BarItem struct {
+	Label string
+	Value float64
+}
+
+// Add appends a bar.
+func (b *BarChart) Add(label string, value float64) {
+	b.Items = append(b.Items, BarItem{Label: label, Value: value})
+}
+
+// Render writes the chart to w.
+func (b *BarChart) Render(w io.Writer) {
+	if b.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", b.Title, strings.Repeat("-", len(b.Title)))
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	labelW := 0
+	for _, it := range b.Items {
+		if it.Value > max {
+			max = it.Value
+		}
+		if len(it.Label) > labelW {
+			labelW = len(it.Label)
+		}
+	}
+	if max < 1 {
+		max = 1
+	}
+	for _, it := range b.Items {
+		fmt.Fprintf(w, "%s %6.3f |%s\n", pad(it.Label, labelW), it.Value, Bar(it.Value, max, width))
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders to a string.
+func (b *BarChart) String() string {
+	var sb strings.Builder
+	b.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendersAligned(t *testing.T) {
+	tb := &Table{
+		Title:   "Demo",
+		Headers: []string{"name", "value"},
+	}
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 2.5)
+	tb.AddNote("footnote %d", 42)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "====") {
+		t.Errorf("missing title/underline:\n%s", out)
+	}
+	if !strings.Contains(out, "a-much-longer-name") {
+		t.Errorf("missing row:\n%s", out)
+	}
+	if !strings.Contains(out, "2.500") {
+		t.Errorf("float not formatted:\n%s", out)
+	}
+	if !strings.Contains(out, "footnote 42") {
+		t.Errorf("missing note:\n%s", out)
+	}
+	// Every data line must have the same width (aligned columns).
+	var widths []int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "|") {
+			widths = append(widths, len(line))
+		}
+	}
+	for _, w := range widths {
+		if w != widths[0] {
+			t.Errorf("misaligned table:\n%s", out)
+			break
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	if b := Bar(5, 10, 10); b != "#####" {
+		t.Errorf("Bar(5,10,10) = %q", b)
+	}
+	if b := Bar(20, 10, 10); b != "##########" {
+		t.Errorf("over-max bar %q", b)
+	}
+	if b := Bar(1, 0, 10); b != "" {
+		t.Errorf("zero-max bar %q", b)
+	}
+	if b := Bar(-1, 10, 10); b != "" {
+		t.Errorf("negative bar %q", b)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{Title: "chart", Width: 20}
+	c.Add("aql", 0.8)
+	c.Add("xen", 1.0)
+	out := c.String()
+	if !strings.Contains(out, "aql") || !strings.Contains(out, "0.800") {
+		t.Errorf("chart missing items:\n%s", out)
+	}
+	// xen (the max) should have the longest bar.
+	lines := strings.Split(out, "\n")
+	var aqlBar, xenBar int
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if strings.HasPrefix(l, "aql") {
+			aqlBar = n
+		}
+		if strings.HasPrefix(l, "xen") {
+			xenBar = n
+		}
+	}
+	if xenBar <= aqlBar {
+		t.Errorf("bar lengths wrong: aql=%d xen=%d", aqlBar, xenBar)
+	}
+}

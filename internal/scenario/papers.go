@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"fmt"
+
+	"aqlsched/internal/cache"
+	"aqlsched/internal/hw"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/vcputype"
+	"aqlsched/internal/workload"
+)
+
+// SingleSocketPCPUs is the per-scenario pCPU budget of Section 4.2's
+// single-socket experiments: 16 vCPUs on 4 pCPUs (4 vCPUs per pCPU).
+func SingleSocketPCPUs() []hw.PCPUID { return []hw.PCPUID{0, 1, 2, 3} }
+
+// webAt returns an independent SPECweb-like VM spec; rate is split so
+// several instances together produce the standard load.
+func webAt(rate float64) workload.AppSpec {
+	s := workload.SPECWeb2009()
+	s.Rate = rate
+	return s
+}
+
+// conSpinVM returns a lock application spec with the given vCPU count.
+func conSpinVM(name string, vcpus int) workload.AppSpec {
+	s := workload.ByName(name)
+	s.Threads = vcpus
+	return s
+}
+
+// Table4 returns the five colocation scenarios of Table 4, each running
+// 16 vCPUs over the 4 single-socket pCPUs. IOInt entries are deployed
+// as independent single-vCPU web VMs; ConSpin entries as one VM with as
+// many vCPUs as the type count; CPU entries as single-vCPU VMs.
+func Table4(seed uint64) []Spec {
+	base := func(name string, apps []Entry) Spec {
+		return Spec{
+			Name:       name,
+			Topo:       hw.I73770(),
+			GuestPCPUs: SingleSocketPCPUs(),
+			Apps:       apps,
+			Seed:       seed,
+		}
+	}
+	return []Spec{
+		base("S1", []Entry{
+			{Spec: conSpinVM("fluidanimate", 5), Count: 1},
+			{Spec: workload.ByName("bzip2"), Count: 5},
+			{Spec: workload.ByName("hmmer"), Count: 6},
+		}),
+		base("S2", []Entry{
+			{Spec: webAt(200), Count: 5},
+			{Spec: workload.ByName("bzip2"), Count: 5},
+			{Spec: workload.ByName("libquantum"), Count: 6},
+		}),
+		base("S3", []Entry{
+			{Spec: workload.ByName("bzip2"), Count: 5},
+			{Spec: workload.ByName("libquantum"), Count: 5},
+			{Spec: workload.ByName("hmmer"), Count: 6},
+		}),
+		base("S4", []Entry{
+			{Spec: webAt(200), Count: 4},
+			{Spec: conSpinVM("facesim", 4), Count: 1},
+			{Spec: workload.ByName("bzip2"), Count: 4},
+			{Spec: workload.ByName("libquantum"), Count: 4},
+		}),
+		base("S5", []Entry{
+			{Spec: webAt(200), Count: 4},
+			{Spec: conSpinVM("facesim", 4), Count: 1},
+			{Spec: workload.ByName("bzip2"), Count: 4},
+			{Spec: workload.ByName("libquantum"), Count: 2},
+			{Spec: workload.ByName("hmmer"), Count: 2},
+		}),
+	}
+}
+
+// ScenarioByName returns one of the Table 4 scenarios.
+func ScenarioByName(name string, seed uint64) Spec {
+	for _, s := range Table4(seed) {
+		if s.Name == name {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("scenario: unknown scenario %q", name))
+}
+
+// --- The four-socket case (Fig. 3 / Fig. 6 right) -------------------------
+
+// FourSocketGuestPCPUs: the paper dedicates one socket (socket 0) to
+// dom0; guests use the other three (12 pCPUs).
+func FourSocketGuestPCPUs(topo *hw.Topology) []hw.PCPUID {
+	var out []hw.PCPUID
+	for s := hw.SocketID(1); int(s) < topo.Sockets; s++ {
+		out = append(out, topo.PCPUsOfSocket(s)...)
+	}
+	return out
+}
+
+// ioIntPlus is the IOInt+ micro-benchmark of Section 3.5: an IO-driven
+// VM whose request processing trashes the LLC (its LLCO cursor is
+// "tremendous"), built as the paper did from micro-benchmarks.
+func ioIntPlus(rate float64) workload.AppSpec {
+	return workload.AppSpec{
+		Name:     "microIO+",
+		Expected: vcputype.IOInt,
+		Kind:     workload.KindWeb,
+		Prof:     cache.Profile{WSS: 160 * hw.KB, RefRate: 0.3},
+		Rate:     rate,
+		Service:  250 * sim.Microsecond,
+		CGI:      cache.Profile{WSS: 24 * hw.MB, RefRate: 30, Streaming: true, StreamMissRatio: 0.9},
+		JobWork:  4 * sim.Millisecond,
+	}
+}
+
+// conSpinMinus is a ConSpin- micro-benchmark (lock-bound, small
+// footprint).
+func conSpinMinus(vcpus int) workload.AppSpec {
+	s := workload.MicroKernbench(vcpus)
+	s.Name = "microSpin-"
+	return s
+}
+
+// FourSocket reproduces the Fig. 3 population: 12 LLCO, 12 IOInt+,
+// 17 LLCF and 7 ConSpin- vCPUs (48 total) on 12 guest pCPUs of the
+// 4-socket Xeon. VM creation order (LLCO, IOInt+, LLCF, ConSpin-)
+// matches the paper's layout so Algorithm 1 reproduces Fig. 3 exactly.
+func FourSocket(seed uint64) Spec {
+	topo := hw.XeonE54603()
+	llco := workload.MicroListWalk(topo, vcputype.LLCO)
+	llcf := workload.MicroListWalk(topo, vcputype.LLCF)
+	return Spec{
+		Name:       "four-socket",
+		Topo:       topo,
+		GuestPCPUs: FourSocketGuestPCPUs(topo),
+		Apps: []Entry{
+			{Spec: llco, Count: 12},
+			{Spec: ioIntPlus(400), Count: 12},
+			{Spec: llcf, Count: 17},
+			{Spec: conSpinMinus(7), Count: 1},
+		},
+		Seed: seed,
+	}
+}

@@ -1,0 +1,227 @@
+// Package scenario builds and runs the paper's experimental setups: a
+// machine, a set of colocated application VMs, a scheduling policy, and
+// a warm-up + measurement window. It also defines the paper's concrete
+// scenarios (Table 4's S1-S5 and the four-socket case of Fig. 3).
+package scenario
+
+import (
+	"fmt"
+
+	"aqlsched/internal/credit"
+	"aqlsched/internal/hw"
+	"aqlsched/internal/metrics"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/vcputype"
+	"aqlsched/internal/workload"
+	"aqlsched/internal/xen"
+)
+
+// Policy configures the scheduler under test after deployment. The
+// baselines package provides implementations.
+type Policy interface {
+	Name() string
+	Setup(h *xen.Hypervisor, deps []*workload.Deployment)
+}
+
+// Entry is one application and how many VMs of it to deploy.
+type Entry struct {
+	Spec  workload.AppSpec
+	Count int
+}
+
+// Spec describes a full experiment.
+type Spec struct {
+	Name       string
+	Topo       *hw.Topology
+	GuestPCPUs []hw.PCPUID
+	Apps       []Entry
+	Warmup     sim.Time
+	Measure    sim.Time
+	Seed       uint64
+	// StartJitter staggers VM start times (default 120 ms — one full
+	// 4-vCPU rotation at the default quantum). Set negative to disable.
+	StartJitter sim.Time
+}
+
+// AppMeasure is the measured performance of one application (aggregated
+// over its VM instances).
+type AppMeasure struct {
+	Name     string
+	Expected vcputype.Type
+	// Latency is the mean request latency (IO applications).
+	Latency sim.Time
+	// Throughput is jobs per second (batch applications).
+	Throughput float64
+	// IsLatency selects which of the two is the app's metric.
+	IsLatency bool
+	// Instances is how many VMs were aggregated.
+	Instances int
+}
+
+// Metric reports the scalar lower-is-better performance value: mean
+// latency in µs for IO apps, time-per-job (1/throughput) for batch.
+func (a AppMeasure) Metric() float64 {
+	if a.IsLatency {
+		return float64(a.Latency)
+	}
+	if a.Throughput == 0 {
+		return 0
+	}
+	return 1 / a.Throughput
+}
+
+// Result is one experiment run.
+type Result struct {
+	Spec   Spec
+	Policy string
+	Apps   []AppMeasure
+	// PerVM holds one measurement per deployment (Name = domain name),
+	// for experiments that report per-VM or per-cluster results.
+	PerVM []AppMeasure
+	// Hypervisor diagnostics.
+	CtxSwitches uint64
+	Preemptions uint64
+	// Hyp and Deps stay accessible for experiment-specific inspection.
+	Hyp  *xen.Hypervisor
+	Deps []*workload.Deployment
+}
+
+// VM finds a per-VM measurement by domain name.
+func (r *Result) VM(name string) AppMeasure {
+	for _, a := range r.PerVM {
+		if a.Name == name {
+			return a
+		}
+	}
+	panic(fmt.Sprintf("scenario: no per-VM measurement for %q in %s", name, r.Spec.Name))
+}
+
+// App finds a measurement by application name.
+func (r *Result) App(name string) AppMeasure {
+	for _, a := range r.Apps {
+		if a.Name == name {
+			return a
+		}
+	}
+	panic(fmt.Sprintf("scenario: no measurement for %q in %s", name, r.Spec.Name))
+}
+
+// Run executes the scenario under the policy and returns measurements.
+func Run(spec Spec, pol Policy) *Result {
+	if spec.Topo == nil {
+		spec.Topo = hw.I73770()
+	}
+	if spec.Warmup == 0 {
+		spec.Warmup = 1 * sim.Second
+	}
+	if spec.Measure == 0 {
+		spec.Measure = 4 * sim.Second
+	}
+	switch {
+	case spec.StartJitter == 0:
+		spec.StartJitter = 120 * sim.Millisecond
+	case spec.StartJitter < 0:
+		spec.StartJitter = 0
+	}
+	var opts []xen.Option
+	if spec.GuestPCPUs != nil {
+		opts = append(opts, xen.WithGuestPCPUs(spec.GuestPCPUs))
+	}
+	h := xen.New(spec.Topo, credit.New(), spec.Seed, opts...)
+	rng := sim.NewRNG(spec.Seed + 0x9e37)
+
+	var deps []*workload.Deployment
+	for _, e := range spec.Apps {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			inst := ""
+			if n > 1 {
+				inst = fmt.Sprintf("%d", i+1)
+			}
+			s := e.Spec
+			if s.StartJitter == 0 {
+				s.StartJitter = spec.StartJitter
+			}
+			deps = append(deps, workload.Deploy(h, s, inst, rng))
+		}
+	}
+	pol.Setup(h, deps)
+
+	h.Run(spec.Warmup)
+	type snap struct {
+		jobs metrics.JobSnapshot
+	}
+	snaps := make([]snap, len(deps))
+	for i, d := range deps {
+		d.ResetLatencies()
+		snaps[i].jobs = d.Snapshot(h.Engine.Now())
+	}
+	h.Run(spec.Warmup + spec.Measure)
+
+	// Aggregate per application name, and record per-VM measures.
+	agg := map[string]*AppMeasure{}
+	var order []string
+	latSum := map[string]sim.Time{}
+	latN := map[string]int{}
+	res := &Result{
+		Spec:        spec,
+		Policy:      pol.Name(),
+		CtxSwitches: h.CtxSwitches,
+		Preemptions: h.Preemptions,
+		Hyp:         h,
+		Deps:        deps,
+	}
+	for i, d := range deps {
+		name := d.Spec.Name
+		m, ok := agg[name]
+		if !ok {
+			m = &AppMeasure{Name: name, Expected: d.Spec.Expected, IsLatency: d.IsLatencyApp()}
+			agg[name] = m
+			order = append(order, name)
+		}
+		m.Instances++
+		vm := AppMeasure{
+			Name:      d.Dom.Name,
+			Expected:  d.Spec.Expected,
+			IsLatency: d.IsLatencyApp(),
+			Instances: 1,
+		}
+		if m.IsLatency {
+			for _, s := range d.Servers {
+				if s.Lat.Count() > 0 {
+					latSum[name] += s.Lat.Mean() * sim.Time(s.Lat.Count())
+					latN[name] += s.Lat.Count()
+				}
+			}
+			vm.Latency = d.MeanLatency()
+		} else {
+			end := d.Snapshot(h.Engine.Now())
+			rate := metrics.Rate(snaps[i].jobs, end)
+			m.Throughput += rate
+			vm.Throughput = rate
+		}
+		res.PerVM = append(res.PerVM, vm)
+	}
+	for _, name := range order {
+		m := agg[name]
+		if m.IsLatency && latN[name] > 0 {
+			m.Latency = latSum[name] / sim.Time(latN[name])
+		}
+		res.Apps = append(res.Apps, *m)
+	}
+	return res
+}
+
+// Normalize computes the paper's normalized performance per app:
+// measured metric / baseline metric, lower is better.
+func Normalize(measured, baseline *Result) map[string]float64 {
+	out := make(map[string]float64, len(measured.Apps))
+	for _, a := range measured.Apps {
+		b := baseline.App(a.Name)
+		out[a.Name] = metrics.Normalized(a.Metric(), b.Metric())
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"aqlsched/internal/baselines"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/vcputype"
+)
+
+func TestTable4ScenariosHaveSixteenVCPUs(t *testing.T) {
+	for _, spec := range scenario.Table4(1) {
+		total := 0
+		for _, e := range spec.Apps {
+			per := 1
+			if e.Spec.Threads > 0 {
+				per = e.Spec.Threads
+			}
+			n := e.Count
+			if n <= 0 {
+				n = 1
+			}
+			total += n * per
+		}
+		if total != 16 {
+			t.Errorf("%s: %d vCPUs, want 16 (Table 4)", spec.Name, total)
+		}
+		if len(spec.GuestPCPUs) != 4 {
+			t.Errorf("%s: %d pCPUs, want 4", spec.Name, len(spec.GuestPCPUs))
+		}
+	}
+}
+
+func TestScenarioByNameAndUnknown(t *testing.T) {
+	if s := scenario.ScenarioByName("S3", 1); s.Name != "S3" {
+		t.Errorf("got %q", s.Name)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown scenario did not panic")
+		}
+	}()
+	scenario.ScenarioByName("S9", 1)
+}
+
+func TestFourSocketMatchesFig3Population(t *testing.T) {
+	spec := scenario.FourSocket(1)
+	if len(spec.GuestPCPUs) != 12 {
+		t.Errorf("%d guest pCPUs, want 12 (one socket for dom0)", len(spec.GuestPCPUs))
+	}
+	byType := map[vcputype.Type]int{}
+	for _, e := range spec.Apps {
+		per := 1
+		if e.Spec.Threads > 0 {
+			per = e.Spec.Threads
+		}
+		byType[e.Spec.Expected] += e.Count * per
+	}
+	if byType[vcputype.LLCO] != 12 || byType[vcputype.IOInt] != 12 ||
+		byType[vcputype.LLCF] != 17 || byType[vcputype.ConSpin] != 7 {
+		t.Errorf("population %v, want 12 LLCO, 12 IOInt+, 17 LLCF, 7 ConSpin-", byType)
+	}
+}
+
+func TestRunProducesMeasurements(t *testing.T) {
+	spec := scenario.ScenarioByName("S2", 3)
+	spec.Warmup = 500 * sim.Millisecond
+	spec.Measure = 1 * sim.Second
+	res := scenario.Run(spec, baselines.XenDefault{})
+
+	if len(res.Apps) != 3 {
+		t.Fatalf("%d app measurements, want 3", len(res.Apps))
+	}
+	web := res.App("SPECweb2009")
+	if !web.IsLatency || web.Latency == 0 {
+		t.Errorf("web measurement %+v, want nonzero latency", web)
+	}
+	if web.Instances != 5 {
+		t.Errorf("web instances %d, want 5", web.Instances)
+	}
+	bz := res.App("bzip2")
+	if bz.IsLatency || bz.Throughput == 0 {
+		t.Errorf("bzip2 measurement %+v, want nonzero throughput", bz)
+	}
+	if len(res.PerVM) != 16 {
+		t.Errorf("%d per-VM measures, want 16", len(res.PerVM))
+	}
+	if res.VM("bzip2-1").Throughput == 0 {
+		t.Error("per-VM throughput missing")
+	}
+	if bz.Metric() <= 0 || web.Metric() <= 0 {
+		t.Error("metrics must be positive")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	run := func() float64 {
+		spec := scenario.ScenarioByName("S3", 77)
+		spec.Warmup = 500 * sim.Millisecond
+		spec.Measure = 1 * sim.Second
+		return scenario.Run(spec, baselines.XenDefault{}).App("bzip2").Throughput
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("identical scenario runs diverged: %v vs %v", a, b)
+	}
+}
+
+func TestNormalizeAgainstBaseline(t *testing.T) {
+	spec := scenario.ScenarioByName("S3", 5)
+	spec.Warmup = 500 * sim.Millisecond
+	spec.Measure = 1 * sim.Second
+	base := scenario.Run(spec, baselines.XenDefault{})
+	same := scenario.Run(spec, baselines.XenDefault{})
+	for app, n := range scenario.Normalize(same, base) {
+		if n != 1.0 {
+			t.Errorf("%s: self-normalization %v, want exactly 1 (deterministic)", app, n)
+		}
+	}
+}
+
+func TestVTurboDedicatesTurboPool(t *testing.T) {
+	spec := scenario.ScenarioByName("S5", 5)
+	spec.Warmup = 500 * sim.Millisecond
+	spec.Measure = 1 * sim.Second
+	res := scenario.Run(spec, baselines.VTurbo{})
+	pools := res.Hyp.Pools()
+	if len(pools) != 2 {
+		t.Fatalf("%d pools under vTurbo, want 2 (turbo + normal)", len(pools))
+	}
+	var turbo, normal bool
+	for _, p := range pools {
+		switch p.Name {
+		case "turbo":
+			turbo = true
+			if p.Slice != 1*sim.Millisecond {
+				t.Errorf("turbo slice %v, want 1ms", p.Slice)
+			}
+		case "normal":
+			normal = true
+		}
+	}
+	if !turbo || !normal {
+		t.Errorf("pool names wrong: %v", pools)
+	}
+}
+
+func TestVSlicerOverridesIOSlices(t *testing.T) {
+	spec := scenario.ScenarioByName("S5", 5)
+	spec.Warmup = 500 * sim.Millisecond
+	spec.Measure = 1 * sim.Second
+	res := scenario.Run(spec, baselines.VSlicer{})
+	overridden := 0
+	for _, d := range res.Deps {
+		for _, v := range d.Dom.VCPUs {
+			if v.SliceOverride > 0 {
+				overridden++
+				if d.Spec.Expected != vcputype.IOInt {
+					t.Errorf("vSlicer overrode non-IO vCPU of %s", d.Dom.Name)
+				}
+			}
+		}
+	}
+	if overridden != 4 {
+		t.Errorf("%d vCPUs overridden, want 4 (the S5 web VMs)", overridden)
+	}
+}

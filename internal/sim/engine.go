@@ -1,0 +1,190 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated state changes are driven by events on a priority queue
+// ordered by (time, sequence number). Equal-time events fire in the order
+// they were scheduled, so a simulation is fully deterministic given its
+// inputs and RNG seed. Time is measured in integer microseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated instant or duration in microseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * 1000
+)
+
+// MaxTime is the largest representable simulated time.
+const MaxTime Time = 1<<63 - 1
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time in a human-friendly unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%dµs", int64(t))
+	}
+}
+
+// EventFunc is the body of a scheduled event. It runs at the event's
+// due time with the engine clock already advanced to that time.
+type EventFunc func(now Time)
+
+// Event is a handle to a scheduled event; it can be cancelled.
+type Event struct {
+	at      Time
+	seq     uint64
+	fn      EventFunc
+	index   int // heap index, -1 when popped or cancelled
+	cancels bool
+}
+
+// Time reports when the event is due.
+func (e *Event) Time() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancels }
+
+// eventQueue implements heap.Interface over pending events.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop.
+//
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+
+	// Stats
+	fired uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// (before Now) panics: that is always a simulation bug.
+func (e *Engine) At(at Time, fn EventFunc) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn EventFunc) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancels || ev.index < 0 {
+		if ev != nil {
+			ev.cancels = true
+		}
+		return
+	}
+	ev.cancels = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step fires the next pending event, advancing the clock to its due
+// time. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn(e.now)
+	return true
+}
+
+// RunUntil fires events until the clock would pass deadline or the queue
+// empties. The clock finishes at exactly deadline (even when idle) so
+// that measurement windows are well defined.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Stop makes the current Run/RunUntil call return after the event that
+// is currently executing.
+func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Fork(0)
+	c2 := parent.Fork(1)
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("forked children with different labels produced same first value")
+	}
+	// Fork must not advance the parent stream.
+	p1 := NewRNG(7)
+	v1 := p1.Uint64()
+	p2 := NewRNG(7)
+	p2.Fork(99)
+	v2 := p2.Uint64()
+	if v1 != v2 {
+		t.Error("Fork perturbed the parent stream")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const mean = 250.0
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Errorf("exponential sample mean %.2f, want ~%.2f", got, mean)
+	}
+}
+
+func TestRNGExpTimeAtLeastOne(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 1000; i++ {
+		if d := r.ExpTime(2); d < 1 {
+			t.Fatalf("ExpTime returned %v < 1", d)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(17)
+	const mean, sd = 100.0, 15.0
+	const n = 100000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(mean, sd)
+		sum += v
+		sumsq += v * v
+	}
+	m := sum / n
+	variance := sumsq/n - m*m
+	if math.Abs(m-mean) > 0.5 {
+		t.Errorf("normal mean %.2f, want ~%.1f", m, mean)
+	}
+	if math.Abs(math.Sqrt(variance)-sd) > 0.5 {
+		t.Errorf("normal stddev %.2f, want ~%.1f", math.Sqrt(variance), sd)
+	}
+}
+
+// Property: Intn stays within bounds for any positive n.
+func TestRNGIntnBoundsProperty(t *testing.T) {
+	r := NewRNG(23)
+	f := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UniformTime respects [lo, hi] for any ordered pair.
+func TestRNGUniformTimeProperty(t *testing.T) {
+	r := NewRNG(29)
+	f := func(a, b uint32) bool {
+		lo, hi := Time(a), Time(b)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		v := r.UniformTime(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

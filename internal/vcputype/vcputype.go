@@ -1,0 +1,60 @@
+// Package vcputype defines the five vCPU type labels of the paper
+// (Section 3.2). It exists separately so the recognition system, the
+// clustering algorithms, the workload suite and the controller can share
+// the taxonomy without import cycles.
+package vcputype
+
+import "fmt"
+
+// Type is one of the five application types the paper identifies.
+type Type int
+
+const (
+	// IOInt: IO intensive, latency critical.
+	IOInt Type = iota
+	// ConSpin: concurrent threads synchronizing through spin-locks.
+	ConSpin
+	// LLCF: last-level-cache friendly (WSS fits in the LLC).
+	LLCF
+	// LLCO: trashing (WSS overflows the LLC).
+	LLCO
+	// LoLCF: low-level-cache friendly (WSS fits in L1/L2).
+	LoLCF
+	numTypes
+)
+
+// All lists the five types in the paper's priority order: when cursor
+// averages tie, the earlier (more specific) type wins.
+func All() []Type { return []Type{IOInt, ConSpin, LLCF, LLCO, LoLCF} }
+
+// String implements fmt.Stringer with the paper's notation.
+func (t Type) String() string {
+	switch t {
+	case IOInt:
+		return "IOInt"
+	case ConSpin:
+		return "ConSpin"
+	case LLCF:
+		return "LLCF"
+	case LLCO:
+		return "LLCO"
+	case LoLCF:
+		return "LoLCF"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Parse converts a label back to a Type.
+func Parse(s string) (Type, error) {
+	for _, t := range All() {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("vcputype: unknown type %q", s)
+}
+
+// Agnostic reports whether the type is quantum-length agnostic per the
+// paper's calibration (Section 3.4.2): LoLCF and LLCO perform the same
+// under any quantum and are used to balance clusters.
+func (t Type) Agnostic() bool { return t == LoLCF || t == LLCO }

@@ -1,0 +1,46 @@
+package vcputype
+
+import "testing"
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	for _, ty := range All() {
+		got, err := Parse(ty.String())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", ty.String(), err)
+		}
+		if got != ty {
+			t.Errorf("round trip %v -> %v", ty, got)
+		}
+	}
+}
+
+func TestParseRejectsUnknown(t *testing.T) {
+	if _, err := Parse("NotAType"); err == nil {
+		t.Error("Parse accepted an unknown label")
+	}
+}
+
+func TestAgnosticTypes(t *testing.T) {
+	want := map[Type]bool{
+		IOInt: false, ConSpin: false, LLCF: false,
+		LLCO: true, LoLCF: true,
+	}
+	for ty, w := range want {
+		if ty.Agnostic() != w {
+			t.Errorf("%v.Agnostic() = %v, want %v", ty, ty.Agnostic(), w)
+		}
+	}
+}
+
+func TestPriorityOrderIsSpecificFirst(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("%d types, want 5", len(all))
+	}
+	if all[0] != IOInt || all[1] != ConSpin {
+		t.Errorf("priority order %v: IOInt and ConSpin must lead", all)
+	}
+	if all[len(all)-1] != LoLCF {
+		t.Errorf("priority order %v: LoLCF (the generic fallback) must be last", all)
+	}
+}

@@ -1,0 +1,156 @@
+package workload_test
+
+import (
+	"testing"
+
+	"aqlsched/internal/credit"
+	"aqlsched/internal/hw"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/vcputype"
+	"aqlsched/internal/workload"
+	"aqlsched/internal/xen"
+)
+
+func TestSuiteCoversPaperTable3(t *testing.T) {
+	suite := workload.Suite()
+	if len(suite) != 26 {
+		t.Errorf("suite has %d apps, want 26 (2 IO + 12 SPEC CPU + 12 PARSEC)", len(suite))
+	}
+	counts := map[vcputype.Type]int{}
+	for _, s := range suite {
+		counts[s.Expected]++
+	}
+	if counts[vcputype.IOInt] != 2 {
+		t.Errorf("%d IOInt apps, want 2", counts[vcputype.IOInt])
+	}
+	if counts[vcputype.ConSpin] != 12 {
+		t.Errorf("%d ConSpin apps, want 12 (PARSEC)", counts[vcputype.ConSpin])
+	}
+	if counts[vcputype.LLCF] != 5 {
+		t.Errorf("%d LLCF apps, want 5", counts[vcputype.LLCF])
+	}
+	if counts[vcputype.LoLCF] != 5 {
+		t.Errorf("%d LoLCF apps, want 5", counts[vcputype.LoLCF])
+	}
+	if counts[vcputype.LLCO] != 2 {
+		t.Errorf("%d LLCO apps, want 2", counts[vcputype.LLCO])
+	}
+}
+
+func TestByNameFindsEveryAppAndPanicsOnUnknown(t *testing.T) {
+	for _, s := range workload.Suite() {
+		if got := workload.ByName(s.Name); got.Name != s.Name {
+			t.Errorf("ByName(%q) returned %q", s.Name, got.Name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ByName(unknown) did not panic")
+		}
+	}()
+	workload.ByName("no-such-app")
+}
+
+func TestWorkingSetsMatchTypes(t *testing.T) {
+	top := hw.I73770()
+	for _, s := range workload.Suite() {
+		switch s.Expected {
+		case vcputype.LoLCF:
+			if s.Prof.WSS > top.L2.Size {
+				t.Errorf("%s (LoLCF): WSS %d exceeds L2 %d", s.Name, s.Prof.WSS, top.L2.Size)
+			}
+		case vcputype.LLCF:
+			if s.Prof.WSS <= top.L2.Size || s.Prof.WSS > top.LLC.Size {
+				t.Errorf("%s (LLCF): WSS %d not in (L2, LLC]", s.Name, s.Prof.WSS)
+			}
+		case vcputype.LLCO:
+			if s.Prof.WSS <= top.LLC.Size {
+				t.Errorf("%s (LLCO): WSS %d does not overflow LLC %d", s.Name, s.Prof.WSS, top.LLC.Size)
+			}
+			if !s.Prof.Streaming {
+				t.Errorf("%s (LLCO): not streaming", s.Name)
+			}
+		}
+	}
+}
+
+func TestDeployShapes(t *testing.T) {
+	h := xen.New(hw.I73770(), credit.New(), 3, xen.WithGuestPCPUs([]hw.PCPUID{0, 1, 2, 3}))
+	rng := sim.NewRNG(3)
+
+	cpu := workload.Deploy(h, workload.ByName("bzip2"), "", rng)
+	if len(cpu.Dom.VCPUs) != 1 {
+		t.Errorf("CPU app deployed with %d vCPUs, want 1", len(cpu.Dom.VCPUs))
+	}
+
+	lock := workload.Deploy(h, workload.ByName("facesim"), "", rng)
+	if len(lock.Dom.VCPUs) != 4 {
+		t.Errorf("PARSEC app deployed with %d vCPUs, want 4", len(lock.Dom.VCPUs))
+	}
+	if len(lock.Locks) != 1 {
+		t.Errorf("lock app has %d locks, want 1", len(lock.Locks))
+	}
+
+	web := workload.Deploy(h, workload.SPECWeb2009(), "x", rng)
+	if len(web.Servers) != 1 {
+		t.Errorf("web app has %d servers, want 1", len(web.Servers))
+	}
+	if !web.IsLatencyApp() || cpu.IsLatencyApp() {
+		t.Error("IsLatencyApp misclassifies")
+	}
+	if web.Dom.Name != "SPECweb2009-x" {
+		t.Errorf("instance naming: %q", web.Dom.Name)
+	}
+}
+
+func TestDeploymentRunsAndCountsJobs(t *testing.T) {
+	h := xen.New(hw.I73770(), credit.New(), 5, xen.WithGuestPCPUs([]hw.PCPUID{0}))
+	rng := sim.NewRNG(5)
+	d := workload.Deploy(h, workload.ByName("hmmer"), "", rng)
+	h.Run(2 * sim.Second)
+	snapA := d.Snapshot(h.Engine.Now())
+	h.Run(4 * sim.Second)
+	snapB := d.Snapshot(h.Engine.Now())
+	if snapB.Jobs <= snapA.Jobs {
+		t.Errorf("no jobs completed between snapshots: %d -> %d", snapA.Jobs, snapB.Jobs)
+	}
+	// Solo VM on a pCPU crunching 10ms jobs: ~100/s.
+	rate := float64(snapB.Jobs-snapA.Jobs) / 2
+	if rate < 85 || rate > 110 {
+		t.Errorf("solo hmmer rate %.1f jobs/s, want ~100", rate)
+	}
+}
+
+func TestMicroBenchmarksMatchTable1(t *testing.T) {
+	top := hw.I73770()
+	web := workload.MicroWeb(false)
+	if web.CGI.WSS != 0 {
+		t.Error("exclusive micro web must have no CGI")
+	}
+	hetero := workload.MicroWeb(true)
+	if hetero.CGI.WSS == 0 {
+		t.Error("heterogeneous micro web must have CGI")
+	}
+	kb := workload.MicroKernbench(4)
+	if kb.Threads != 4 || kb.Expected != vcputype.ConSpin {
+		t.Errorf("kernbench: %+v", kb)
+	}
+	llcf := workload.MicroListWalk(top, vcputype.LLCF)
+	if llcf.Prof.WSS != top.LLC.Size/2 {
+		t.Errorf("LLCF walk WSS %d, want half the LLC (paper 3.4.2)", llcf.Prof.WSS)
+	}
+	lolcf := workload.MicroListWalk(top, vcputype.LoLCF)
+	if lolcf.Prof.WSS != top.L2.Size*9/10 {
+		t.Errorf("LoLCF walk WSS %d, want 90%% of L2", lolcf.Prof.WSS)
+	}
+	llco := workload.MicroListWalk(top, vcputype.LLCO)
+	if llco.Prof.WSS <= top.LLC.Size {
+		t.Errorf("LLCO walk WSS %d must overflow the LLC", llco.Prof.WSS)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MicroListWalk(IOInt) did not panic")
+		}
+	}()
+	workload.MicroListWalk(top, vcputype.IOInt)
+}

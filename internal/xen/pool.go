@@ -1,0 +1,53 @@
+package xen
+
+import (
+	"fmt"
+
+	"aqlsched/internal/hw"
+	"aqlsched/internal/sim"
+)
+
+// CPUPool is a set of pCPUs scheduled with a common quantum (Q2). In
+// this model a pool carries no scheduler state of its own — one
+// scheduler instance serves every pool (the paper's shared-runqueue
+// implementation trick, Section 4.3) — so reconfiguring pools or moving
+// vCPUs between them copies nothing.
+type CPUPool struct {
+	// Name labels the pool in reports (e.g. "C1^1ms").
+	Name string
+	// Slice is the pool's quantum length.
+	Slice sim.Time
+
+	pcpus  []hw.PCPUID
+	member map[hw.PCPUID]bool
+}
+
+// NewCPUPool builds a pool over the given pCPUs with the given quantum.
+func NewCPUPool(name string, slice sim.Time, pcpus []hw.PCPUID) *CPUPool {
+	if slice <= 0 {
+		panic(fmt.Sprintf("xen: pool %q with non-positive slice %v", name, slice))
+	}
+	if len(pcpus) == 0 {
+		panic(fmt.Sprintf("xen: pool %q with no pCPUs", name))
+	}
+	p := &CPUPool{Name: name, Slice: slice, member: make(map[hw.PCPUID]bool, len(pcpus))}
+	p.pcpus = append(p.pcpus, pcpus...)
+	for _, c := range pcpus {
+		if p.member[c] {
+			panic(fmt.Sprintf("xen: pool %q lists pCPU %d twice", name, c))
+		}
+		p.member[c] = true
+	}
+	return p
+}
+
+// PCPUs lists the pool's pCPUs (callers must not mutate).
+func (p *CPUPool) PCPUs() []hw.PCPUID { return p.pcpus }
+
+// Contains reports whether the pool includes pCPU c.
+func (p *CPUPool) Contains(c hw.PCPUID) bool { return p.member[c] }
+
+// String renders the pool for diagnostics.
+func (p *CPUPool) String() string {
+	return fmt.Sprintf("%s(q=%v, pcpus=%v)", p.Name, p.Slice, p.pcpus)
+}
