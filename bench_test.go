@@ -9,9 +9,12 @@
 package aqlsched_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"aqlsched/internal/experiments"
+	"aqlsched/internal/sweep"
 )
 
 func benchCfg(b *testing.B) experiments.Config {
@@ -125,5 +128,50 @@ func BenchmarkOverhead(b *testing.B) {
 		if r.Periods == 0 {
 			b.Fatal("monitor never sampled")
 		}
+	}
+}
+
+// sweepBenchSpec is a small real grid — S1+S5 under three policies,
+// two seed replications (12 runs) — with short windows.
+func sweepBenchSpec(b *testing.B) *sweep.Spec {
+	b.Helper()
+	spec, err := (&sweep.File{
+		Name:      "bench",
+		Scenarios: []string{"S1", "S5"},
+		Policies:  []string{"xen", "microsliced", "aql"},
+		Baseline:  "xen-credit",
+		Seeds:     2,
+		WarmupMS:  400,
+		MeasureMS: 900,
+	}).Spec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec
+}
+
+// BenchmarkSweepParallel compares sequential against parallel
+// execution of the same sweep grid; the aggregates are bit-identical
+// either way, only the wall time differs. On a single-core host the
+// two variants tie (pool overhead is noise); the speedup scales with
+// GOMAXPROCS.
+func BenchmarkSweepParallel(b *testing.B) {
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 4 {
+		parallel = 4
+	}
+	for _, workers := range []int{1, parallel} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := sweepBenchSpec(b)
+			for i := 0; i < b.N; i++ {
+				res, err := sweep.Exec(spec, sweep.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed() > 0 {
+					b.Fatalf("%d failed runs", res.Failed())
+				}
+			}
+		})
 	}
 }

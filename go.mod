@@ -1,0 +1,3 @@
+module aqlsched
+
+go 1.22

@@ -17,6 +17,11 @@
 // Every experiment returns a typed result plus rendered text tables.
 // Absolute numbers are simulator-specific; the shapes are what
 // reproduce (see EXPERIMENTS.md).
+//
+// The grid-shaped experiments (Fig. 5, Fig. 6, Fig. 7, Fig. 8) are
+// declared as sweep.Spec values and executed by the internal/sweep
+// orchestrator on a worker pool — the same grids are runnable
+// standalone via cmd/aqlsweep.
 package experiments
 
 import (
@@ -25,6 +30,7 @@ import (
 	"aqlsched/internal/hw"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
+	"aqlsched/internal/sweep"
 	"aqlsched/internal/vcputype"
 	"aqlsched/internal/workload"
 )
@@ -48,6 +54,32 @@ func (c Config) seed() uint64 {
 		return 0xA91
 	}
 	return c.Seed
+}
+
+// mustSweep executes a sweep for an experiment entry point. The sweep
+// layer tolerates failed runs (a long aqlsweep grid should survive
+// one bad cell); the figure runners must not, or a swallowed panic
+// would read as a 0x normalized "result" — so any run error escalates.
+func mustSweep(sp *sweep.Spec, opts sweep.Options) *sweep.Result {
+	res, err := sweep.Exec(sp, opts)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	for i := range res.Runs {
+		if e := res.Runs[i].Err; e != nil {
+			panic("experiments: " + e.Error())
+		}
+	}
+	return res
+}
+
+// mustScenario resolves a catalogue scenario for a sweep axis.
+func mustScenario(name string) sweep.Scenario {
+	sc, err := sweep.ScenarioByName(name)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return sc
 }
 
 // windows returns (warmup, measure).

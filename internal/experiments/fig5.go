@@ -1,10 +1,10 @@
 package experiments
 
 import (
-	"aqlsched/internal/baselines"
 	"aqlsched/internal/report"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
+	"aqlsched/internal/sweep"
 	"aqlsched/internal/vcputype"
 	"aqlsched/internal/workload"
 )
@@ -74,20 +74,43 @@ func Fig5Suite(cfg Config) []workload.AppSpec {
 	}
 }
 
+// Fig5Sweep declares the robustness sweep: one colocation scenario per
+// application, one fixed-quantum policy per swept quantum, normalized
+// over the 30 ms default.
+func Fig5Sweep(cfg Config) *sweep.Spec {
+	base := sweep.FixedPolicy(30 * sim.Millisecond)
+	sp := &sweep.Spec{
+		Name:     "fig5",
+		Policies: []sweep.Policy{base},
+		Baseline: base.Name,
+		BaseSeed: cfg.seed(),
+	}
+	for _, q := range Fig5Quanta() {
+		sp.Policies = append(sp.Policies, sweep.FixedPolicy(q))
+	}
+	for _, app := range Fig5Suite(cfg) {
+		app := app
+		sp.Scenarios = append(sp.Scenarios, sweep.Scenario{
+			Name: "colo-" + app.Name,
+			New:  func() scenario.Spec { return Colo(app, 4, cfg) },
+		})
+	}
+	return sp
+}
+
 // Fig5 runs every application in the standard 4-vCPUs-per-pCPU
 // colocation under each quantum and normalizes over the Xen default —
 // validating that each app performs best at (or indistinguishably from)
 // its type's calibrated quantum.
 func Fig5(cfg Config) *Fig5Result {
+	res := mustSweep(Fig5Sweep(cfg), sweep.Options{})
 	out := &Fig5Result{}
 	for _, app := range Fig5Suite(cfg) {
-		base := scenario.Run(Colo(app, 4, cfg), baselines.FixedQuantum{Q: 30 * sim.Millisecond})
-		baseMetric := base.Apps[0].Metric()
 		a := Fig5App{Name: app.Name, Expected: app.Expected, Norm: map[sim.Time]float64{}}
 		for _, q := range Fig5Quanta() {
-			res := scenario.Run(Colo(app, 4, cfg), baselines.FixedQuantum{Q: q})
-			if baseMetric > 0 {
-				a.Norm[q] = res.Apps[0].Metric() / baseMetric
+			cell := res.Cell("colo-"+app.Name, sweep.FixedPolicy(q).Name)
+			if ca := cell.App(app.Name); ca != nil && ca.Norm != nil {
+				a.Norm[q] = ca.Norm.Mean
 			}
 		}
 		out.Apps = append(out.Apps, a)

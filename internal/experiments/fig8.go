@@ -3,9 +3,8 @@ package experiments
 import (
 	"sort"
 
-	"aqlsched/internal/baselines"
 	"aqlsched/internal/report"
-	"aqlsched/internal/scenario"
+	"aqlsched/internal/sweep"
 )
 
 // Fig8Apps maps the paper's reported types to S5 applications.
@@ -24,32 +23,44 @@ type Fig8Result struct {
 	Norm map[string]map[string]float64
 }
 
+// Fig8Sweep declares the comparison: scenario S5 under the default Xen
+// scheduler (the baseline) and the four contenders.
+func Fig8Sweep(cfg Config) *sweep.Spec {
+	warm, meas := cfg.windows()
+	return &sweep.Spec{
+		Name:      "fig8",
+		Scenarios: []sweep.Scenario{mustScenario("S5")},
+		Policies: []sweep.Policy{
+			sweep.XenPolicy(),
+			sweep.VTurboPolicy(),
+			sweep.MicroslicedPolicy(),
+			sweep.VSlicerPolicy(),
+			sweep.AQLPolicy(),
+		},
+		Baseline: sweep.XenPolicy().Name,
+		BaseSeed: cfg.seed(),
+		Warmup:   warm,
+		Measure:  meas,
+	}
+}
+
 // Fig8 runs S5 under vTurbo, Microsliced, vSlicer and AQL_Sched,
 // normalizing each over the default Xen scheduler (the paper's Fig. 8).
 // The baselines have no type recognition, so — exactly as the authors
 // did — they are configured manually for their best behaviour.
 func Fig8(cfg Config) *Fig8Result {
-	warm, meas := cfg.windows()
-	spec := scenario.ScenarioByName("S5", cfg.seed())
-	spec.Warmup = warm
-	spec.Measure = meas
-
-	base := scenario.Run(spec, baselines.XenDefault{})
-	policies := []scenario.Policy{
-		baselines.VTurbo{},
-		baselines.Microsliced(),
-		baselines.VSlicer{},
-		baselines.AQL{},
-	}
+	sp := Fig8Sweep(cfg)
+	res := mustSweep(sp, sweep.Options{})
 	out := &Fig8Result{Norm: map[string]map[string]float64{}}
-	for _, pol := range policies {
-		res := scenario.Run(spec, pol)
-		norm := scenario.Normalize(res, base)
+	for _, pol := range sp.Policies {
+		if pol.Name == sp.Baseline {
+			continue
+		}
 		m := map[string]float64{}
 		for _, fa := range fig8Apps {
-			m[fa.Label] = norm[fa.App]
+			m[fa.Label] = res.Norm("S5", pol.Name, fa.App)
 		}
-		out.Norm[pol.Name()] = m
+		out.Norm[pol.Name] = m
 	}
 	return out
 }

@@ -4,11 +4,9 @@ import (
 	"fmt"
 	"sort"
 
-	"aqlsched/internal/baselines"
-	"aqlsched/internal/core"
 	"aqlsched/internal/report"
-	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
+	"aqlsched/internal/sweep"
 )
 
 // ClusterPerf summarizes one cluster of the 4-socket experiment.
@@ -29,32 +27,52 @@ type Fig6RightResult struct {
 	Reclusters uint64
 }
 
-// runFourSocket executes the Fig. 3 population under a policy and
-// returns the scenario results.
-func runFourSocket(cfg Config, pol scenario.Policy) *scenario.Result {
-	spec := scenario.FourSocket(cfg.seed())
-	spec.Warmup, spec.Measure = cfg.windows()
-	return scenario.Run(spec, pol)
+// FourSocketSweep declares a sweep of the Fig. 3 population under the
+// given policy axis.
+func FourSocketSweep(cfg Config, name, baseline string, pols []sweep.Policy) *sweep.Spec {
+	warm, meas := cfg.windows()
+	return &sweep.Spec{
+		Name:      name,
+		Scenarios: []sweep.Scenario{mustScenario("four-socket")},
+		Policies:  pols,
+		Baseline:  baseline,
+		BaseSeed:  cfg.seed(),
+		Warmup:    warm,
+		Measure:   meas,
+	}
+}
+
+// perVMNorm pairs two runs' per-VM measurements: measured metric over
+// baseline metric, keyed by domain name.
+func perVMNorm(measured, base *sweep.RunResult) map[string]float64 {
+	baseVM := map[string]float64{}
+	for _, vm := range base.PerVM {
+		baseVM[vm.Name] = vm.Metric()
+	}
+	norm := map[string]float64{}
+	for _, vm := range measured.PerVM {
+		if b := baseVM[vm.Name]; b > 0 {
+			norm[vm.Name] = vm.Metric() / b
+		}
+	}
+	return norm
 }
 
 // Fig6Right runs the Fig. 3 population (12 LLCO, 12 IOInt+, 17 LLCF,
 // 7 ConSpin- vCPUs on three guest sockets) under default Xen and AQL,
 // reporting normalized performance per cluster as the paper does.
 func Fig6Right(cfg Config) *Fig6RightResult {
-	base := runFourSocket(cfg, baselines.XenDefault{})
-	var ctl *core.Controller
-	aql := runFourSocket(cfg, baselines.AQL{Out: &ctl})
+	sp := FourSocketSweep(cfg, "fig6-right", sweep.XenPolicy().Name,
+		[]sweep.Policy{sweep.XenPolicy(), sweep.AQLPolicy()})
+	res := mustSweep(sp, sweep.Options{})
+	base := res.RunFor("four-socket", sweep.XenPolicy().Name, 0)
+	aql := res.RunFor("four-socket", sweep.AQLPolicy().Name, 0)
 
 	// Per-VM normalized performance.
-	norm := map[string]float64{}
-	for _, vm := range aql.PerVM {
-		b := base.VM(vm.Name)
-		if b.Metric() > 0 {
-			norm[vm.Name] = vm.Metric() / b.Metric()
-		}
-	}
+	norm := perVMNorm(aql, base)
 
 	out := &Fig6RightResult{}
+	ctl := aql.Controller()
 	if ctl == nil || ctl.LastPlan == nil {
 		return out
 	}
@@ -117,17 +135,6 @@ type Fig7Result struct {
 // small (1 ms), medium (30 ms) or large (90 ms) quantum — and
 // normalizes over the full AQL_Sched run (the paper's Fig. 7).
 func Fig7(cfg Config) *Fig7Result {
-	full := runFourSocket(cfg, baselines.AQL{})
-	fullVM := map[string]float64{}
-	for _, vm := range full.PerVM {
-		fullVM[vm.Name] = vm.Metric()
-	}
-	variantOf := map[string]string{}
-	for _, d := range full.Deps {
-		variantOf[d.Dom.Name] = d.Spec.Expected.String()
-	}
-
-	out := &Fig7Result{Norm: map[string]map[string]float64{}}
 	cases := []struct {
 		label string
 		q     sim.Time
@@ -136,17 +143,33 @@ func Fig7(cfg Config) *Fig7Result {
 		{"medium (30ms)", 30 * sim.Millisecond},
 		{"large (90ms)", 90 * sim.Millisecond},
 	}
+	pols := []sweep.Policy{sweep.AQLPolicy()}
 	for _, cse := range cases {
-		res := runFourSocket(cfg, baselines.AQL{DisableCustomization: true, FixedQuantum: cse.q})
+		pols = append(pols, sweep.AQLNoCustomPolicy(cse.q))
+	}
+	sp := FourSocketSweep(cfg, "fig7", sweep.AQLPolicy().Name, pols)
+	res := mustSweep(sp, sweep.Options{})
+	full := res.RunFor("four-socket", sweep.AQLPolicy().Name, 0)
+	variantOf := map[string]string{}
+	for _, vm := range full.PerVM {
+		variantOf[vm.Name] = vm.Expected.String()
+	}
+
+	out := &Fig7Result{Norm: map[string]map[string]float64{}}
+	for i, cse := range cases {
+		ablation := res.RunFor("four-socket", pols[i+1].Name, 0)
+		norm := perVMNorm(ablation, full)
 		sums := map[string]float64{}
 		counts := map[string]int{}
-		for _, vm := range res.PerVM {
-			base := fullVM[vm.Name]
-			if base <= 0 {
+		// Accumulate in deployment order: summing in map-iteration
+		// order would make the means float-order nondeterministic.
+		for _, vm := range ablation.PerVM {
+			n, ok := norm[vm.Name]
+			if !ok {
 				continue
 			}
 			v := variantOf[vm.Name]
-			sums[v] += vm.Metric() / base
+			sums[v] += n
 			counts[v]++
 		}
 		m := map[string]float64{}

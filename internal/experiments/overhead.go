@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sort"
+
 	"aqlsched/internal/baselines"
 	"aqlsched/internal/core"
 	"aqlsched/internal/report"
@@ -64,8 +66,13 @@ func (r *OverheadResult) Table() *report.Table {
 		Title:   "Section 4.3: AQL_Sched overhead",
 		Headers: []string{"metric", "value"},
 	}
-	for app, d := range r.PerfDelta {
-		t.AddRow("perf delta "+app, d)
+	apps := make([]string, 0, len(r.PerfDelta))
+	for app := range r.PerfDelta {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		t.AddRow("perf delta "+app, r.PerfDelta[app])
 	}
 	t.AddRow("monitoring periods", r.Periods)
 	t.AddRow("reconfigurations", int(r.Reclusters))

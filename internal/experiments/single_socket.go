@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"sort"
 
-	"aqlsched/internal/baselines"
 	"aqlsched/internal/cluster"
-	"aqlsched/internal/core"
 	"aqlsched/internal/report"
 	"aqlsched/internal/scenario"
+	"aqlsched/internal/sweep"
 )
 
 // ScenarioOutcome is one Table-4 scenario under AQL vs default Xen.
@@ -29,31 +28,52 @@ type SingleSocketResult struct {
 	Scenarios []ScenarioOutcome
 }
 
+// SingleSocketSweep declares the Table 4 grid: scenarios S1–S5 under
+// default Xen (the baseline) and AQL_Sched.
+func SingleSocketSweep(cfg Config) *sweep.Spec {
+	warm, meas := cfg.windows()
+	sp := &sweep.Spec{
+		Name:     "single-socket",
+		Policies: []sweep.Policy{sweep.XenPolicy(), sweep.AQLPolicy()},
+		Baseline: sweep.XenPolicy().Name,
+		BaseSeed: cfg.seed(),
+		Warmup:   warm,
+		Measure:  meas,
+	}
+	for _, s := range scenario.Table4(0) {
+		sp.Scenarios = append(sp.Scenarios, mustScenario(s.Name))
+	}
+	return sp
+}
+
 // SingleSocket runs the five colocation scenarios of Table 4 under the
 // default Xen scheduler and under AQL_Sched, producing the normalized
 // per-application performance of Fig. 6 (left) and the cluster layouts
 // of Table 5.
 func SingleSocket(cfg Config) *SingleSocketResult {
+	sp := SingleSocketSweep(cfg)
+	res := mustSweep(sp, sweep.Options{})
 	out := &SingleSocketResult{}
-	warm, meas := cfg.windows()
-	for _, spec := range scenario.Table4(cfg.seed()) {
-		spec.Warmup = warm
-		spec.Measure = meas
-		base := scenario.Run(spec, baselines.XenDefault{})
-		var ctl *core.Controller
-		aql := scenario.Run(spec, baselines.AQL{Out: &ctl})
-
+	aqlName := sweep.AQLPolicy().Name
+	for _, sc := range sp.Scenarios {
 		oc := ScenarioOutcome{
-			Name:  spec.Name,
-			Norm:  scenario.Normalize(aql, base),
+			Name:  sc.Name,
+			Norm:  map[string]float64{},
 			Types: map[string]string{},
 		}
-		for _, a := range aql.Apps {
-			oc.Types[a.Name] = a.Expected.String()
+		if cell := res.Cell(sc.Name, aqlName); cell != nil {
+			for _, ca := range cell.Apps {
+				oc.Types[ca.App] = ca.Type
+				if ca.Norm != nil {
+					oc.Norm[ca.App] = ca.Norm.Mean
+				}
+			}
 		}
-		if ctl != nil && ctl.LastPlan != nil {
-			oc.Clusters = ctl.LastPlan.Clusters
-			oc.Reclusters = ctl.Reclusters
+		if rr := res.RunFor(sc.Name, aqlName, 0); rr != nil {
+			if ctl := rr.Controller(); ctl != nil && ctl.LastPlan != nil {
+				oc.Clusters = ctl.LastPlan.Clusters
+				oc.Reclusters = ctl.Reclusters
+			}
 		}
 		out.Scenarios = append(out.Scenarios, oc)
 	}

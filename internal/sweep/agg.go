@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"math"
+
+	"aqlsched/internal/metrics"
+)
+
+// Stats summarizes one sample set across seed replications. CI95 is
+// the half-width of the 95% confidence interval under the normal
+// approximation (1.96·s/√n); with a single replication Std and CI95
+// are zero.
+type Stats struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	N    int     `json:"n"`
+}
+
+// NewStats computes summary statistics over xs (sample stddev).
+func NewStats(xs []float64) Stats {
+	s := Stats{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+		s.CI95 = 1.96 * s.Std / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// CellApp aggregates one application inside one cell.
+type CellApp struct {
+	App string `json:"app"`
+	// Type is the expected vCPU type (IOInt, ConSpin, ...).
+	Type string `json:"type"`
+	// IsLatency tells whether Metric is mean latency (µs) or
+	// time-per-job (s); both are lower-is-better.
+	IsLatency bool `json:"is_latency"`
+	// Metric summarizes the raw per-run metric across replications.
+	Metric Stats `json:"metric"`
+	// Norm summarizes the per-replication normalized performance
+	// against the baseline policy (paired by seed replication). Nil
+	// when the sweep has no baseline or every baseline metric was zero.
+	Norm *Stats `json:"norm,omitempty"`
+}
+
+// Cell is the aggregate of one scenario × policy coordinate.
+type Cell struct {
+	Scenario string    `json:"scenario"`
+	Policy   string    `json:"policy"`
+	Apps     []CellApp `json:"apps"`
+	// Runs is how many replications succeeded.
+	Runs int `json:"runs"`
+}
+
+// App finds an application aggregate by name; nil when absent.
+func (c *Cell) App(name string) *CellApp {
+	if c == nil {
+		return nil
+	}
+	for i := range c.Apps {
+		if c.Apps[i].App == name {
+			return &c.Apps[i]
+		}
+	}
+	return nil
+}
+
+// Norm is a convenience accessor for the mean normalized performance
+// of one app in one cell (0 when the coordinate or baseline is
+// missing).
+func (r *Result) Norm(scenarioName, policyName, app string) float64 {
+	if ca := r.Cell(scenarioName, policyName).App(app); ca != nil && ca.Norm != nil {
+		return ca.Norm.Mean
+	}
+	return 0
+}
+
+// aggregate folds the run matrix into per-cell statistics, walking
+// cells in expansion order so the output is deterministic.
+func aggregate(spec *Spec, runs []RunResult) []Cell {
+	n := spec.seeds()
+	baselineIdx := -1
+	for pi, p := range spec.Policies {
+		if spec.Baseline != "" && p.Name == spec.Baseline {
+			baselineIdx = pi
+		}
+	}
+	// runAt addresses the matrix by coordinates.
+	runAt := func(si, pi, k int) *RunResult {
+		idx := (si*len(spec.Policies)+pi)*n + k
+		rr := &runs[idx]
+		if rr.Err != nil {
+			return nil
+		}
+		return rr
+	}
+
+	var cells []Cell
+	for si := range spec.Scenarios {
+		for pi := range spec.Policies {
+			cell := Cell{Scenario: spec.Scenarios[si].Name, Policy: spec.Policies[pi].Name}
+			// App order comes from the first successful replication
+			// (scenario.Run emits apps in deployment order, which is
+			// identical across replications of one scenario).
+			var first *RunResult
+			for k := 0; k < n; k++ {
+				if rr := runAt(si, pi, k); rr != nil {
+					cell.Runs++
+					if first == nil {
+						first = rr
+					}
+				}
+			}
+			if first == nil {
+				cells = append(cells, cell)
+				continue
+			}
+			for ai, am := range first.Apps {
+				ca := CellApp{App: am.Name, Type: am.Expected.String(), IsLatency: am.IsLatency}
+				var raw, norm []float64
+				for k := 0; k < n; k++ {
+					rr := runAt(si, pi, k)
+					if rr == nil || ai >= len(rr.Apps) {
+						continue
+					}
+					m := rr.Apps[ai].Metric()
+					raw = append(raw, m)
+					if baselineIdx < 0 {
+						continue
+					}
+					base := runAt(si, baselineIdx, k)
+					if base == nil || ai >= len(base.Apps) {
+						continue
+					}
+					if bm := base.Apps[ai].Metric(); bm > 0 {
+						norm = append(norm, metrics.Normalized(m, bm))
+					}
+				}
+				ca.Metric = NewStats(raw)
+				if len(norm) > 0 {
+					s := NewStats(norm)
+					ca.Norm = &s
+				}
+				cell.Apps = append(cell.Apps, ca)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells
+}

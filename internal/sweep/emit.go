@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"aqlsched/internal/report"
+)
+
+// Document is the JSON artifact shape: the sweep's identity, its axes,
+// and the aggregate cells. It deliberately excludes wall-clock data so
+// the artifact is byte-identical across worker counts and machines.
+type Document struct {
+	Name      string   `json:"name"`
+	Baseline  string   `json:"baseline,omitempty"`
+	Seeds     int      `json:"seeds"`
+	Scenarios []string `json:"scenarios"`
+	Policies  []string `json:"policies"`
+	Failed    int      `json:"failed_runs,omitempty"`
+	Cells     []Cell   `json:"cells"`
+}
+
+// Document builds the emittable view of the result.
+func (r *Result) Document() Document {
+	return Document{
+		Name:      r.Name,
+		Baseline:  r.Baseline,
+		Seeds:     r.Seeds,
+		Scenarios: r.Scenarios,
+		Policies:  r.Policies,
+		Failed:    r.Failed(),
+		Cells:     r.Cells,
+	}
+}
+
+// WriteJSON emits the aggregate document as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Document())
+}
+
+// csvFloat formats a float with enough digits to round-trip, so the
+// CSV artifact is as deterministic as the JSON one.
+func csvFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// WriteCSV emits one row per (scenario, policy, app) aggregate.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"scenario", "policy", "app", "type", "metric_kind",
+		"metric_mean", "metric_std", "metric_ci95", "metric_min", "metric_max",
+		"norm_mean", "norm_std", "norm_ci95", "runs",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		// A cell whose every replication failed has no apps; mark it so
+		// CSV-only consumers can tell a failed cell from an absent one.
+		if len(c.Apps) == 0 {
+			row := []string{c.Scenario, c.Policy, "", "", "FAILED",
+				"", "", "", "", "", "", "", "", strconv.Itoa(c.Runs)}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, a := range c.Apps {
+			kind := "time_per_job_s"
+			if a.IsLatency {
+				kind = "latency_us"
+			}
+			row := []string{
+				c.Scenario, c.Policy, a.App, a.Type, kind,
+				csvFloat(a.Metric.Mean), csvFloat(a.Metric.Std), csvFloat(a.Metric.CI95),
+				csvFloat(a.Metric.Min), csvFloat(a.Metric.Max),
+				"", "", "",
+				strconv.Itoa(c.Runs),
+			}
+			if a.Norm != nil {
+				row[10] = csvFloat(a.Norm.Mean)
+				row[11] = csvFloat(a.Norm.Std)
+				row[12] = csvFloat(a.Norm.CI95)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table renders the aggregates as a report table, one row per
+// (scenario, policy, app).
+func (r *Result) Table() *report.Table {
+	title := fmt.Sprintf("Sweep %s: %d scenarios x %d policies x %d seeds",
+		r.Name, len(r.Scenarios), len(r.Policies), r.Seeds)
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"scenario", "policy", "app", "type", "metric", "±ci95", "norm", "±ci95"},
+	}
+	for _, c := range r.Cells {
+		for _, a := range c.Apps {
+			norm, nci := "-", "-"
+			if a.Norm != nil {
+				norm = fmt.Sprintf("%.3f", a.Norm.Mean)
+				nci = fmt.Sprintf("%.3f", a.Norm.CI95)
+			}
+			t.AddRow(c.Scenario, c.Policy, a.App, a.Type,
+				fmt.Sprintf("%.4g", a.Metric.Mean), fmt.Sprintf("%.3g", a.Metric.CI95),
+				norm, nci)
+		}
+	}
+	if r.Baseline != "" {
+		t.AddNote("norm = metric / %s metric, paired per seed replication; lower is better", r.Baseline)
+	}
+	if f := r.Failed(); f > 0 {
+		t.AddNote("%d run(s) failed and were excluded from aggregates", f)
+	}
+	return t
+}

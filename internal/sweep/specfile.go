@@ -1,0 +1,299 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"aqlsched/internal/baselines"
+	"aqlsched/internal/core"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
+)
+
+// --- Named axis points -----------------------------------------------------
+
+// ScenarioByName resolves a scenario axis point from the paper's
+// catalogue: S1–S5 (Table 4) or "four-socket" (Fig. 3 / Fig. 6 right).
+func ScenarioByName(name string) (Scenario, error) {
+	if name == "four-socket" {
+		return Scenario{Name: name, New: func() scenario.Spec {
+			return scenario.FourSocket(0) // seed overridden per run
+		}}, nil
+	}
+	for _, s := range scenario.Table4(0) {
+		if s.Name == name {
+			return Scenario{Name: name, New: func() scenario.Spec {
+				return scenario.ScenarioByName(name, 0)
+			}}, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("sweep: unknown scenario %q (want S1..S5 or four-socket)", name)
+}
+
+// XenPolicy is the unmodified credit scheduler (the usual baseline).
+func XenPolicy() Policy {
+	return Policy{Name: baselines.XenDefault{}.Name(), New: func() scenario.Policy {
+		return baselines.XenDefault{}
+	}}
+}
+
+// AQLPolicy is the paper's system. Every run gets a fresh controller
+// output slot, retrievable via RunResult.Controller.
+func AQLPolicy() Policy {
+	return Policy{Name: baselines.AQL{}.Name(), New: func() scenario.Policy {
+		return baselines.AQL{Out: new(*core.Controller)}
+	}}
+}
+
+// AQLNoCustomPolicy is the Fig. 7 ablation: clustering stays active but
+// every pool runs the fixed quantum q.
+func AQLNoCustomPolicy(q sim.Time) Policy {
+	name := baselines.AQL{DisableCustomization: true, FixedQuantum: q}.Name()
+	return Policy{Name: name, New: func() scenario.Policy {
+		return baselines.AQL{DisableCustomization: true, FixedQuantum: q, Out: new(*core.Controller)}
+	}}
+}
+
+// FixedPolicy runs every vCPU at quantum q in one pool.
+func FixedPolicy(q sim.Time) Policy {
+	name := baselines.FixedQuantum{Q: q}.Name()
+	return Policy{Name: name, New: func() scenario.Policy {
+		return baselines.FixedQuantum{Q: q}
+	}}
+}
+
+// VTurboPolicy, VSlicerPolicy and MicroslicedPolicy are the related
+// systems of Fig. 8, manually configured as in the paper.
+func VTurboPolicy() Policy {
+	return Policy{Name: baselines.VTurbo{}.Name(), New: func() scenario.Policy {
+		return baselines.VTurbo{}
+	}}
+}
+
+// VSlicerPolicy differentiates IO-intensive slices on shared pools.
+func VSlicerPolicy() Policy {
+	return Policy{Name: baselines.VSlicer{}.Name(), New: func() scenario.Policy {
+		return baselines.VSlicer{}
+	}}
+}
+
+// MicroslicedPolicy shortens the quantum for every vCPU.
+func MicroslicedPolicy() Policy {
+	m := baselines.Microsliced()
+	return Policy{Name: m.Name(), New: func() scenario.Policy {
+		return baselines.Microsliced()
+	}}
+}
+
+// PolicyByName resolves a policy axis point. Recognized names: xen (or
+// xen-credit), aql, vturbo, vslicer, microsliced, fixed:<duration>
+// (e.g. fixed:10ms) and aql-nocustom:<duration>.
+func PolicyByName(name string) (Policy, error) {
+	if q, ok := strings.CutPrefix(name, "fixed:"); ok {
+		d, err := parseQuantum(q)
+		if err != nil {
+			return Policy{}, err
+		}
+		return FixedPolicy(d), nil
+	}
+	if q, ok := strings.CutPrefix(name, "aql-nocustom:"); ok {
+		d, err := parseQuantum(q)
+		if err != nil {
+			return Policy{}, err
+		}
+		return AQLNoCustomPolicy(d), nil
+	}
+	switch name {
+	case "xen", "xen-credit":
+		return XenPolicy(), nil
+	case "aql":
+		return AQLPolicy(), nil
+	case "vturbo":
+		return VTurboPolicy(), nil
+	case "vslicer":
+		return VSlicerPolicy(), nil
+	case "microsliced":
+		return MicroslicedPolicy(), nil
+	}
+	return Policy{}, fmt.Errorf("sweep: unknown policy %q (want xen, aql, vturbo, vslicer, microsliced, fixed:<dur>, aql-nocustom:<dur>)", name)
+}
+
+func parseQuantum(s string) (sim.Time, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("sweep: bad quantum %q: %v", s, err)
+	}
+	q := sim.Time(d / time.Microsecond)
+	if q <= 0 {
+		return 0, fmt.Errorf("sweep: quantum %q must be positive", s)
+	}
+	return q, nil
+}
+
+// --- Declarative spec files ------------------------------------------------
+
+// File is the JSON on-disk sweep specification consumed by aqlsweep.
+// Scenario and policy entries use the names understood by
+// ScenarioByName and PolicyByName.
+type File struct {
+	Name      string   `json:"name"`
+	Scenarios []string `json:"scenarios"`
+	Policies  []string `json:"policies"`
+	// Quanta, when set, appends one fixed:<q> policy per entry (a
+	// shorthand for quantum-length axes, e.g. ["1ms","10ms","90ms"]).
+	Quanta   []string `json:"quanta,omitempty"`
+	Baseline string   `json:"baseline,omitempty"`
+	Seeds    int      `json:"seeds,omitempty"`
+	BaseSeed uint64   `json:"base_seed,omitempty"`
+	// WarmupMS and MeasureMS override every scenario's windows.
+	WarmupMS  int64 `json:"warmup_ms,omitempty"`
+	MeasureMS int64 `json:"measure_ms,omitempty"`
+}
+
+// Parse turns raw spec-file JSON into a runnable Spec.
+func Parse(data []byte) (*Spec, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("sweep: bad spec file: %v", err)
+	}
+	return f.Spec()
+}
+
+// Load reads and parses a spec file from disk.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Spec resolves the file's names into a runnable Spec.
+func (f *File) Spec() (*Spec, error) {
+	s := &Spec{
+		Name:     f.Name,
+		Baseline: f.Baseline,
+		Seeds:    f.Seeds,
+		BaseSeed: f.BaseSeed,
+		Warmup:   sim.Time(f.WarmupMS) * sim.Millisecond,
+		Measure:  sim.Time(f.MeasureMS) * sim.Millisecond,
+	}
+	if s.Name == "" {
+		s.Name = "sweep"
+	}
+	for _, name := range f.Scenarios {
+		sc, err := ScenarioByName(name)
+		if err != nil {
+			return nil, err
+		}
+		s.Scenarios = append(s.Scenarios, sc)
+	}
+	for _, name := range f.Policies {
+		p, err := PolicyByName(name)
+		if err != nil {
+			return nil, err
+		}
+		s.Policies = append(s.Policies, p)
+	}
+	for _, q := range f.Quanta {
+		p, err := PolicyByName("fixed:" + q)
+		if err != nil {
+			return nil, err
+		}
+		s.Policies = append(s.Policies, p)
+	}
+	// Accept both spellings for the baseline: the spec-file policy
+	// syntax ("xen", "fixed:30ms") and the resolved policy name
+	// ("xen-credit", "fixed-30.000ms").
+	if s.Baseline != "" {
+		if p, err := PolicyByName(s.Baseline); err == nil {
+			s.Baseline = p.Name
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// --- Built-in sweeps -------------------------------------------------------
+
+// builtins maps names to ready-made sweep specifications mirroring the
+// paper's evaluation structure.
+var builtins = map[string]func() *Spec{
+	"policy-grid": func() *Spec {
+		return mustFile(File{
+			Name:      "policy-grid",
+			Scenarios: []string{"S1", "S2", "S3", "S4", "S5"},
+			Policies:  []string{"xen", "aql"},
+			Baseline:  "xen-credit",
+			Seeds:     3,
+		})
+	},
+	"fig8": func() *Spec {
+		return mustFile(File{
+			Name:      "fig8",
+			Scenarios: []string{"S5"},
+			Policies:  []string{"xen", "vturbo", "microsliced", "vslicer", "aql"},
+			Baseline:  "xen-credit",
+		})
+	},
+	"quantum-grid": func() *Spec {
+		return mustFile(File{
+			Name:      "quantum-grid",
+			Scenarios: []string{"S1", "S2", "S3", "S4", "S5"},
+			Policies:  []string{"fixed:30ms"},
+			Quanta:    []string{"1ms", "10ms", "60ms", "90ms"},
+			Baseline:  "fixed:30ms",
+			Seeds:     3,
+		})
+	},
+	"four-socket": func() *Spec {
+		return mustFile(File{
+			Name:      "four-socket",
+			Scenarios: []string{"four-socket"},
+			Policies:  []string{"xen", "aql"},
+			Baseline:  "xen-credit",
+		})
+	},
+	"baseline-grid": func() *Spec {
+		return mustFile(File{
+			Name:      "baseline-grid",
+			Scenarios: []string{"S1", "S2", "S3", "S4", "S5"},
+			Policies:  []string{"xen", "vturbo", "microsliced", "vslicer", "aql"},
+			Baseline:  "xen-credit",
+			Seeds:     3,
+		})
+	},
+}
+
+func mustFile(f File) *Spec {
+	s, err := f.Spec()
+	if err != nil {
+		panic("sweep: bad builtin: " + err.Error())
+	}
+	return s
+}
+
+// Builtin returns a named built-in sweep specification.
+func Builtin(name string) (*Spec, bool) {
+	f, ok := builtins[name]
+	if !ok {
+		return nil, false
+	}
+	return f(), true
+}
+
+// BuiltinNames lists the built-in sweeps, sorted.
+func BuiltinNames() []string {
+	out := make([]string, 0, len(builtins))
+	for n := range builtins {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,366 @@
+// Package sweep turns the paper's evaluation — a grid of scenario ×
+// policy × seed runs — into a declarative, parallel orchestration
+// subsystem. A Spec names its axes; Exec expands them into a run
+// matrix, executes the runs on a bounded pool of goroutines, and
+// aggregates per-cell statistics (mean, stddev, 95% CI across seed
+// replications, plus normalized performance against a baseline
+// policy).
+//
+// Determinism is a hard guarantee: every run owns an independently
+// forked sim.RNG seed that is a pure function of its grid coordinates,
+// and aggregation walks the matrix in expansion order. The same Spec
+// therefore produces bit-identical aggregates for any worker count —
+// `go test -run Sweep` asserts exactly that.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"aqlsched/internal/baselines"
+	"aqlsched/internal/core"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
+)
+
+// DefaultSeed matches the experiments package default.
+const DefaultSeed uint64 = 0xA91
+
+// Scenario is one point on the scenario axis. New builds a fresh
+// scenario.Spec for every run so that concurrent runs never share
+// mutable state (topologies, app slices); the sweep overrides the
+// returned spec's Seed, Warmup and Measure fields.
+type Scenario struct {
+	Name string
+	New  func() scenario.Spec
+}
+
+// Policy is one point on the policy axis. New builds a fresh
+// scenario.Policy per run, so policies that capture per-run state (the
+// AQL controller output) stay race-free under any worker count.
+type Policy struct {
+	Name string
+	New  func() scenario.Policy
+}
+
+// Spec declares a sweep: the cross product of Scenarios × Policies,
+// replicated Seeds times.
+type Spec struct {
+	Name      string
+	Scenarios []Scenario
+	Policies  []Policy
+	// Baseline names the policy used for per-app normalization (the
+	// paper normalizes everything over default Xen). Empty disables
+	// normalized aggregates.
+	Baseline string
+	// Seeds is the number of seed replications per cell (default 1).
+	// Replication 0 runs with BaseSeed itself, so a single-seed sweep
+	// reproduces the legacy sequential experiments bit-for-bit;
+	// replication k > 0 runs with an RNG fork of BaseSeed labelled k.
+	Seeds int
+	// BaseSeed seeds the whole sweep (default DefaultSeed).
+	BaseSeed uint64
+	// Warmup and Measure, when set, override every scenario's windows.
+	Warmup  sim.Time
+	Measure sim.Time
+}
+
+// Run is one cell-replication of the expanded matrix.
+type Run struct {
+	// Index is the position in expansion order (scenario-major, then
+	// policy, then seed replication).
+	Index       int
+	ScenarioIdx int
+	PolicyIdx   int
+	SeedIdx     int
+	Scenario    string
+	Policy      string
+	// Seed is the run's simulation seed, a pure function of BaseSeed
+	// and SeedIdx (shared across policies so normalization pairs runs
+	// of the same replication).
+	Seed uint64
+}
+
+func (s *Spec) seeds() int {
+	if s.Seeds <= 0 {
+		return 1
+	}
+	return s.Seeds
+}
+
+func (s *Spec) baseSeed() uint64 {
+	if s.BaseSeed == 0 {
+		return DefaultSeed
+	}
+	return s.BaseSeed
+}
+
+// SeedFor reports the simulation seed of replication k: BaseSeed for
+// k = 0, an independent SplitMix fork for k > 0.
+func (s *Spec) SeedFor(k int) uint64 {
+	base := s.baseSeed()
+	if k == 0 {
+		return base
+	}
+	return sim.NewRNG(base).Fork(uint64(k)).Uint64()
+}
+
+// Validate reports an error for an unrunnable spec.
+func (s *Spec) Validate() error {
+	if len(s.Scenarios) == 0 {
+		return fmt.Errorf("sweep %q: no scenarios", s.Name)
+	}
+	if len(s.Policies) == 0 {
+		return fmt.Errorf("sweep %q: no policies", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, sc := range s.Scenarios {
+		if sc.New == nil {
+			return fmt.Errorf("sweep %q: scenario %q has no constructor", s.Name, sc.Name)
+		}
+		if seen[sc.Name] {
+			return fmt.Errorf("sweep %q: duplicate scenario %q", s.Name, sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+	seen = map[string]bool{}
+	baselineOK := s.Baseline == ""
+	for _, p := range s.Policies {
+		if p.New == nil {
+			return fmt.Errorf("sweep %q: policy %q has no constructor", s.Name, p.Name)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("sweep %q: duplicate policy %q", s.Name, p.Name)
+		}
+		seen[p.Name] = true
+		if p.Name == s.Baseline {
+			baselineOK = true
+		}
+	}
+	if !baselineOK {
+		return fmt.Errorf("sweep %q: baseline policy %q not on the policy axis", s.Name, s.Baseline)
+	}
+	return nil
+}
+
+// Runs expands the spec into its run matrix, scenario-major.
+func (s *Spec) Runs() []Run {
+	n := s.seeds()
+	out := make([]Run, 0, len(s.Scenarios)*len(s.Policies)*n)
+	for si, sc := range s.Scenarios {
+		for pi, p := range s.Policies {
+			for k := 0; k < n; k++ {
+				out = append(out, Run{
+					Index:       len(out),
+					ScenarioIdx: si,
+					PolicyIdx:   pi,
+					SeedIdx:     k,
+					Scenario:    sc.Name,
+					Policy:      p.Name,
+					Seed:        s.SeedFor(k),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunResult is the outcome of one run: the per-app and per-VM
+// measurements plus hypervisor diagnostics. Policy keeps the exact
+// policy instance used, so AQL runs expose their controller (see
+// Controller). Raw is retained only under Options.KeepRaw.
+type RunResult struct {
+	Run
+	Apps        []scenario.AppMeasure
+	PerVM       []scenario.AppMeasure
+	CtxSwitches uint64
+	Preemptions uint64
+	// Instance is the exact policy value used by this run.
+	Instance scenario.Policy
+	Raw      *scenario.Result
+	// Err records a panic from the run (the sweep keeps going).
+	Err error
+	// Elapsed is the wall-clock cost of the run (diagnostic only; never
+	// part of emitted aggregates, which must stay deterministic).
+	Elapsed time.Duration
+}
+
+// Controller returns the AQL controller captured by this run's policy,
+// or nil when the policy was not AQL (or never produced one).
+func (rr *RunResult) Controller() *core.Controller {
+	if a, ok := rr.Instance.(baselines.AQL); ok && a.Out != nil {
+		return *a.Out
+	}
+	return nil
+}
+
+// Options tunes execution, not results: any Workers value produces the
+// same Result modulo the Elapsed diagnostics.
+type Options struct {
+	// Workers bounds the goroutine pool (default: GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+	// KeepRaw retains every run's full *scenario.Result (hypervisor,
+	// deployments). Costly on big grids; off by default.
+	KeepRaw bool
+}
+
+// EffectiveWorkers reports the pool size Exec will use before
+// clamping to the run count.
+func (o Options) EffectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is an executed sweep: the raw run matrix plus per-cell
+// aggregates in expansion order.
+type Result struct {
+	Name      string
+	Baseline  string
+	Seeds     int
+	Scenarios []string
+	Policies  []string
+	Runs      []RunResult
+	Cells     []Cell
+}
+
+// Failed counts runs that panicked.
+func (r *Result) Failed() int {
+	n := 0
+	for i := range r.Runs {
+		if r.Runs[i].Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Cell finds an aggregate cell by coordinates; nil when absent.
+func (r *Result) Cell(scenarioName, policyName string) *Cell {
+	for i := range r.Cells {
+		if r.Cells[i].Scenario == scenarioName && r.Cells[i].Policy == policyName {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// RunFor finds one run by coordinates; nil when absent.
+func (r *Result) RunFor(scenarioName, policyName string, seedIdx int) *RunResult {
+	for i := range r.Runs {
+		rr := &r.Runs[i]
+		if rr.Scenario == scenarioName && rr.Policy == policyName && rr.SeedIdx == seedIdx {
+			return rr
+		}
+	}
+	return nil
+}
+
+// Exec expands the spec and executes it on opts.Workers goroutines.
+// Results are deterministic for any worker count: runs are seeded by
+// grid coordinates and collected by index, never by completion order.
+func Exec(spec *Spec, opts Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	runs := spec.Runs()
+	results := make([]RunResult, len(runs))
+
+	workers := opts.EffectiveWorkers()
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards progress output and the done counter
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx] = execOne(spec, runs[idx], opts.KeepRaw)
+				if opts.Progress != nil {
+					mu.Lock()
+					done++
+					rr := &results[idx]
+					status := "ok"
+					if rr.Err != nil {
+						status = "FAILED: " + rr.Err.Error()
+					}
+					fmt.Fprintf(opts.Progress, "sweep %s: [%d/%d] %s/%s seed#%d %s (%v)\n",
+						spec.Name, done, len(runs), rr.Scenario, rr.Policy, rr.SeedIdx,
+						status, rr.Elapsed.Round(time.Millisecond))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for idx := range runs {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{
+		Name:     spec.Name,
+		Baseline: spec.Baseline,
+		Seeds:    spec.seeds(),
+		Runs:     results,
+	}
+	for _, sc := range spec.Scenarios {
+		res.Scenarios = append(res.Scenarios, sc.Name)
+	}
+	for _, p := range spec.Policies {
+		res.Policies = append(res.Policies, p.Name)
+	}
+	res.Cells = aggregate(spec, results)
+	return res, nil
+}
+
+// execOne runs one grid cell replication, converting panics into an
+// error so a single bad configuration cannot sink a long sweep.
+func execOne(spec *Spec, run Run, keepRaw bool) (rr RunResult) {
+	rr.Run = run
+	start := time.Now()
+	defer func() {
+		rr.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			rr.Err = fmt.Errorf("run %s/%s seed#%d panicked: %v", run.Scenario, run.Policy, run.SeedIdx, p)
+		}
+	}()
+
+	sc := spec.Scenarios[run.ScenarioIdx].New()
+	sc.Seed = run.Seed
+	if spec.Warmup > 0 {
+		sc.Warmup = spec.Warmup
+	}
+	if spec.Measure > 0 {
+		sc.Measure = spec.Measure
+	}
+	pol := spec.Policies[run.PolicyIdx].New()
+	res := scenario.Run(sc, pol)
+
+	rr.Apps = res.Apps
+	rr.PerVM = res.PerVM
+	rr.CtxSwitches = res.CtxSwitches
+	rr.Preemptions = res.Preemptions
+	rr.Instance = pol
+	if keepRaw {
+		rr.Raw = res
+	} else if ctl := rr.Controller(); ctl != nil {
+		// Keep the controller's diagnostics (LastPlan, Reclusters) but
+		// release the hypervisor and monitoring history it anchors —
+		// otherwise every AQL run would pin a full simulation graph,
+		// defeating the point of KeepRaw being opt-in.
+		ctl.H = nil
+		ctl.Monitor = nil
+	}
+	return rr
+}
