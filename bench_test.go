@@ -132,20 +132,13 @@ func BenchmarkOverhead(b *testing.B) {
 }
 
 // sweepBenchSpec is a small real grid — S1+S5 under three policies,
-// two seed replications (12 runs) — with short windows.
+// two seed replications (12 runs) — with short windows. It is the
+// built-in "bench" sweep, shared with the golden-determinism test.
 func sweepBenchSpec(b *testing.B) *sweep.Spec {
 	b.Helper()
-	spec, err := (&sweep.File{
-		Name:      "bench",
-		Scenarios: []string{"S1", "S5"},
-		Policies:  []string{"xen", "microsliced", "aql"},
-		Baseline:  "xen-credit",
-		Seeds:     2,
-		WarmupMS:  400,
-		MeasureMS: 900,
-	}).Spec()
-	if err != nil {
-		b.Fatal(err)
+	spec, ok := sweep.Builtin("bench")
+	if !ok {
+		b.Fatal("built-in bench sweep missing")
 	}
 	return spec
 }

@@ -29,6 +29,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"aqlsched/internal/sim"
@@ -45,6 +48,10 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "override the base simulation seed")
 		quick   = flag.Bool("quick", false, "quick windows (1s warmup, 2.5s measure)")
 		quiet   = flag.Bool("q", false, "suppress per-run progress on stderr")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile (after the sweep) to this file")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace of the sweep to this file")
 	)
 	flag.Parse()
 
@@ -91,10 +98,21 @@ func main() {
 	fmt.Fprintf(os.Stderr, "aqlsweep: %s — %d runs (%d scenarios x %d policies x %d seeds), workers=%d\n",
 		spec.Name, runs, len(spec.Scenarios), len(spec.Policies), max(spec.Seeds, 1), opts.EffectiveWorkers())
 
+	// Start profiling only once the sweep is actually about to run, so
+	// argument errors never leave truncated profile files behind; flush
+	// on every exit path after this point.
+	stopProfiling, err := startProfiling(*cpuprofile, *memprofile, *traceFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aqlsweep: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProfiling()
+
 	start := time.Now()
 	res, err := sweep.Exec(spec, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aqlsweep: %v\n", err)
+		stopProfiling()
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "aqlsweep: completed %d runs in %v\n", runs, time.Since(start).Round(time.Millisecond))
@@ -104,13 +122,79 @@ func main() {
 	if *out != "" {
 		if err := writeArtifacts(res, *out); err != nil {
 			fmt.Fprintf(os.Stderr, "aqlsweep: %v\n", err)
+			stopProfiling()
 			os.Exit(1)
 		}
 	}
 	if f := res.Failed(); f > 0 {
 		fmt.Fprintf(os.Stderr, "aqlsweep: %d run(s) failed\n", f)
+		stopProfiling()
 		os.Exit(1)
 	}
+}
+
+// startProfiling arms the requested profilers and returns an idempotent
+// stop function that flushes them (deferred on the normal path, called
+// explicitly before os.Exit).
+func startProfiling(cpuprofile, memprofile, traceFile string) (func(), error) {
+	var stops []func()
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "aqlsweep: wrote CPU profile to %s\n", cpuprofile)
+		})
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "aqlsweep: wrote execution trace to %s\n", traceFile)
+		})
+	}
+	if memprofile != "" {
+		// Create eagerly so a bad path fails before the sweep runs, but
+		// write at stop time (the profile must cover the whole sweep).
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return nil, err
+		}
+		stops = append(stops, func() {
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "aqlsweep: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "aqlsweep: wrote allocation profile to %s\n", memprofile)
+		})
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		for _, stop := range stops {
+			stop()
+		}
+	}, nil
 }
 
 // flagSet reports whether the named flag was explicitly passed.

@@ -296,6 +296,17 @@ func (m *Model) Run(fp *Footprint, core hw.PCPUID, prof Profile, work, budget si
 // missProb = floor + (1-floor)*(1-r). Each miss installs a line:
 // dr/dw = RefRate*(1-floor)*(1-r)*line/E, so (1-r) decays exponentially
 // in ideal time with constant T = E / (RefRate*(1-floor)*line).
+//
+// The expensive primitive here is math.Exp: every evaluation of the
+// wall-time function costs one. The whole-burst path shares a single
+// exp(-w/T) between the budget check, the miss count and the footprint
+// update (they all need the same value), and the budget-limited path
+// finds the root of wall(w) = budget with a guarded Newton iteration
+// (one exp per step, quadratic convergence) instead of the former
+// 48-evaluation bisection. To keep results bit-identical with that
+// bisection, the converged root then replays the bisection's midpoint
+// lattice — pure arithmetic, no exp — reproducing its exact return
+// value; see solveBudget.
 func (m *Model) runCached(fp *Footprint, prof Profile, work, wallBudget float64) (idealDone, misses, refs float64) {
 	eff := math.Min(float64(prof.WSS), m.capBytes)
 	line := float64(m.topo.LLC.LineSize)
@@ -312,38 +323,130 @@ func (m *Model) runCached(fp *Footprint, prof Profile, work, wallBudget float64)
 	}
 	T := eff / (prof.RefRate * math.Max(1-floor, 1e-9) * line)
 
-	// wall(w) = w + missCost * missCount(w), monotone in w.
-	coldInt := func(w float64) float64 { // integral of (1-r) over [0,w]
-		return (1 - r0) * T * (1 - math.Exp(-w/T))
-	}
-	missCount := func(w float64) float64 {
-		c := coldInt(w)
+	// wall(w) = w + missCost*missCount(w), with
+	// missCount(w) = RefRate*(floor*w + (1-floor)*coldInt(w)) and
+	// coldInt(w) = (1-r0)*T*(1-exp(-w/T)). Every formula below is kept
+	// as the exact expression tree of those definitions — only the
+	// shared exp(-w/T) is hoisted — so results match the previous
+	// implementation bit for bit.
+	missCountAt := func(w, ew float64) float64 {
+		c := (1 - r0) * T * (1 - ew)
 		return prof.RefRate * (floor*w + (1-floor)*c)
 	}
-	wall := func(w float64) float64 { return w + m.missCost*missCount(w) }
+	wallAt := func(w, ew float64) float64 { return w + m.missCost*missCountAt(w, ew) }
 
 	w := work
-	if wall(w) > wallBudget {
-		// Bisect for the work that exactly fits the budget.
-		lo, hi := 0.0, math.Min(w, wallBudget)
+	ew := math.Exp(-w / T)
+	if wallAt(w, ew) > wallBudget {
+		w = m.solveBudget(wallBudget, math.Min(w, wallBudget), r0, T, floor, prof.RefRate)
+		ew = math.Exp(-w / T)
+	}
+	idealDone = w
+	misses = missCountAt(w, ew)
+	refs = prof.RefRate * w
+
+	// Footprint after the burst.
+	r := 1 - (1-r0)*ew
+	fp.resident = math.Min(r*eff, eff)
+	return idealDone, misses, refs
+}
+
+// solveBudget finds the ideal work w in [0, hi0] whose wall time equals
+// wallBudget, reproducing bit for bit what the legacy bisection
+// returned.
+//
+// wall(w) = w + missCost*RefRate*(floor*w + (1-floor)*(1-r0)*T*(1-exp(-w/T)))
+// is strictly increasing (wall' >= 1) and concave (the transient term's
+// second derivative is negative), so Newton from below converges
+// monotonically and quadratically: each tangent line lies above a
+// concave function, so its root never overshoots the true root. Once
+// the root is known to full precision, the bisection's answer is a pure
+// function of the comparison wall(mid) > budget <=> mid > root, so its
+// 48-step midpoint lattice is replayed with plain comparisons — no
+// transcendental calls — to land on the exact same float64 the old code
+// produced. Should Newton stall (it cannot, but guard anyway), the
+// legacy bisection runs as the fallback.
+func (m *Model) solveBudget(wallBudget, hi0, r0, T, floor, refRate float64) float64 {
+	// Exactly the legacy expression tree (w + missCost*(refRate*(...)));
+	// regrouping the products would round differently.
+	wallAt := func(w, ew float64) float64 {
+		c := (1 - r0) * T * (1 - ew)
+		return w + m.missCost*(refRate*(floor*w+(1-floor)*c))
+	}
+
+	// Newton on g(w) = wall(w) - budget from w=0 (g(0) = -budget < 0).
+	// g'(w) = 1 + missCost*refRate*(floor + (1-floor)*(1-r0)*exp(-w/T)).
+	dBase := 1 + m.missCost*refRate*floor
+	dCold := m.missCost * refRate * (1 - floor) * (1 - r0)
+	root, converged := 0.0, false
+	for i := 0; i < 64; i++ {
+		ew := math.Exp(-root / T)
+		g := wallAt(root, ew) - wallBudget
+		if g >= 0 {
+			// At (or an ulp past) the root: cannot get closer.
+			converged = true
+			break
+		}
+		next := root - g/(dBase+dCold*ew)
+		if next > hi0 {
+			// Concavity makes this unreachable from below; bail to the
+			// exact legacy path if numerics ever disagree.
+			break
+		}
+		if next <= root {
+			// Fixed point: the iteration can no longer make progress.
+			converged = true
+			break
+		}
+		root = next
+	}
+
+	lo, hi := 0.0, hi0
+	if !converged {
+		// Legacy bisection, one exp per probe.
 		for i := 0; i < 48 && hi-lo > 1e-9*(1+hi); i++ {
 			mid := (lo + hi) / 2
-			if wall(mid) > wallBudget {
+			if wallAt(mid, math.Exp(-mid/T)) > wallBudget {
 				hi = mid
 			} else {
 				lo = mid
 			}
 		}
-		w = lo
+		return lo
 	}
-	idealDone = w
-	misses = missCount(w)
-	refs = prof.RefRate * w
-
-	// Footprint after the burst.
-	r := 1 - (1-r0)*math.Exp(-w/T)
-	fp.resident = math.Min(r*eff, eff)
-	return idealDone, misses, refs
+	// Replay the bisection lattice against the converged root: wall is
+	// strictly increasing, so wall(mid) > budget <=> mid > trueRoot —
+	// except within the float evaluation noise of wall itself. That
+	// noise is eps-scale in the magnitudes wall sums: the budget, the
+	// work, and the transient term missCost*refRate*(1-floor)*(1-r0)*T,
+	// whose (1-exp(-w/T)) factor cancels catastrophically when T is
+	// huge. Both the legacy predicate's flip point and Newton's root
+	// live within that noise of the true root, so midpoints further
+	// than `guard` (1000x the noise bound) away are decided by
+	// comparison alone, and the rare midpoint inside the band is
+	// decided by evaluating the legacy comparison itself. Every replay
+	// decision therefore equals the legacy decision, making the
+	// returned float64 bit-identical.
+	transient := m.missCost * refRate * (1 - floor) * (1 - r0) * T
+	guard := 1e3 * 2.3e-16 * (1 + wallBudget + hi0 + transient)
+	for i := 0; i < 48 && hi-lo > 1e-9*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		var above bool
+		switch {
+		case mid > root+guard:
+			above = true
+		case mid < root-guard:
+			above = false
+		default:
+			above = wallAt(mid, math.Exp(-mid/T)) > wallBudget
+		}
+		if above {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
 }
 
 // SpinCounters synthesizes PMU counters for a spin-wait burst of the

@@ -150,6 +150,10 @@ type Thread struct {
 	OnCPU bool
 
 	queued bool // present in its CPU's ready queue
+
+	// wake is the thread's pre-bound sleep wake-up timer, created on the
+	// first ActSleep and re-armed (allocation-free) on every later one.
+	wake *sim.Timer
 }
 
 // State reports the thread's current state.

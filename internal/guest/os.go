@@ -115,7 +115,11 @@ func (os *OS) enqueue(t *Thread, now sim.Time) {
 	case t.IRQ:
 		c.irqReady = append(c.irqReady, t)
 	case t.preferHead:
-		c.ready = append([]*Thread{t}, c.ready...)
+		// Head insert in place: this runs after every completed action
+		// that kept the guest slice, so it must not allocate.
+		c.ready = append(c.ready, nil)
+		copy(c.ready[1:], c.ready)
+		c.ready[0] = t
 	default:
 		c.ready = append(c.ready, t)
 	}
@@ -220,15 +224,24 @@ func (os *OS) advance(t *Thread, now sim.Time) {
 			t.sliceUsed = 0
 			t.preferHead = false
 			os.dequeue(t)
-			tt := t
-			os.engine.After(a.Dur, func(wake sim.Time) {
-				if tt.state != Sleeping {
-					return
-				}
-				// The sleep action is complete: continue the program.
-				tt.state = Ready
-				os.advance(tt, wake)
-			})
+			if a.Dur < 0 {
+				panic(fmt.Sprintf("guest: negative sleep %v", a.Dur))
+			}
+			if t.wake == nil {
+				// Bind the wake-up callback once per thread; later sleeps
+				// re-arm it without allocating. A thread has at most one
+				// pending sleep, so rearm semantics are safe.
+				tt := t
+				t.wake = os.engine.NewTimer(func(wake sim.Time) {
+					if tt.state != Sleeping {
+						return
+					}
+					// The sleep action is complete: continue the program.
+					tt.state = Ready
+					os.advance(tt, wake)
+				})
+			}
+			t.wake.Arm(now + a.Dur)
 			return
 		case ActExit:
 			t.state = Dead
@@ -285,8 +298,10 @@ func (os *OS) NextStep(cpu int, now sim.Time) Step {
 			if room := GuestSlice - t.sliceUsed; work > room {
 				work = room // guest-internal round robin
 				if work <= 0 {
-					// Slice exhausted right at the boundary: rotate now.
-					c.ready = append(c.ready[1:], t)
+					// Slice exhausted right at the boundary: rotate now,
+					// in place (no fresh backing array).
+					copy(c.ready, c.ready[1:])
+					c.ready[len(c.ready)-1] = t
 					t.sliceUsed = 0
 					return os.NextStep(cpu, now)
 				}
@@ -316,7 +331,8 @@ func (os *OS) BurstDone(t *Thread, ideal sim.Time, now sim.Time) {
 		// up and another thread is waiting.
 		c := &os.cpus[t.CPU]
 		if !t.IRQ && t.sliceUsed >= GuestSlice && len(c.ready) > 1 && c.ready[0] == t {
-			c.ready = append(c.ready[1:], t)
+			copy(c.ready, c.ready[1:])
+			c.ready[len(c.ready)-1] = t
 			t.sliceUsed = 0
 		}
 		return

@@ -20,6 +20,7 @@ type SpinLock struct {
 
 	owner      *Thread
 	waiters    []*Thread // FIFO ticket order
+	scratch    []*Thread // reusable snapshot buffer for release kicks
 	acquiredAt sim.Time
 
 	holds     uint64
@@ -88,13 +89,19 @@ func (l *SpinLock) release(t *Thread, now sim.Time) {
 	// of its hypervisor slice on a free lock: kick their vCPUs (no-op
 	// for vCPUs that are not running). The first kicked spinner at its
 	// guest queue head re-polls and takes the lock.
-	snapshot := append([]*Thread(nil), l.waiters...)
+	// Kicks can re-enter the lock (a kicked vCPU's next dispatch may
+	// poll-acquire, append new waiters, or even release again), so
+	// iterate over a snapshot — taken into a reusable buffer, detached
+	// during the loop so a re-entrant release cannot clobber it.
+	snapshot := append(l.scratch[:0], l.waiters...)
+	l.scratch = nil
 	for _, w := range snapshot {
 		if l.owner != nil {
 			break
 		}
 		w.OS.kickCPU(w.CPU, now)
 	}
+	l.scratch = snapshot[:0]
 }
 
 // pollAcquire is the dispatch-time re-poll of a spinning thread: if the

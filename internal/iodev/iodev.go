@@ -30,7 +30,12 @@ type Server struct {
 	// Lat collects request latencies (arrival to completion).
 	Lat *metrics.Histogram
 
+	// arrivals is a FIFO with an explicit head index: Take advances head
+	// instead of re-slicing away capacity, and Push compacts in place
+	// when full, so a long-lived server stops allocating once the queue
+	// reaches its high-water mark.
 	arrivals []sim.Time
+	head     int
 	dropped  uint64
 	// onComplete, when set, is invoked at each completion (closed-loop
 	// clients use it to issue the next request).
@@ -43,21 +48,32 @@ func NewServer(name string, port int) *Server {
 }
 
 // Push records a request arrival (device side).
-func (s *Server) Push(at sim.Time) { s.arrivals = append(s.arrivals, at) }
+func (s *Server) Push(at sim.Time) {
+	if s.head > 0 && len(s.arrivals) == cap(s.arrivals) {
+		n := copy(s.arrivals, s.arrivals[s.head:])
+		s.arrivals = s.arrivals[:n]
+		s.head = 0
+	}
+	s.arrivals = append(s.arrivals, at)
+}
 
 // Take pops the oldest pending arrival. It panics when empty: the
 // handler must only Take after a successful event wait.
 func (s *Server) Take() sim.Time {
-	if len(s.arrivals) == 0 {
+	if s.Pending() == 0 {
 		panic(fmt.Sprintf("iodev: %s: Take with no pending request", s.Name))
 	}
-	at := s.arrivals[0]
-	s.arrivals = s.arrivals[1:]
+	at := s.arrivals[s.head]
+	s.head++
+	if s.head == len(s.arrivals) {
+		s.arrivals = s.arrivals[:0]
+		s.head = 0
+	}
 	return at
 }
 
 // Pending reports queued, un-served arrivals.
-func (s *Server) Pending() int { return len(s.arrivals) }
+func (s *Server) Pending() int { return len(s.arrivals) - s.head }
 
 // Complete records a finished request that arrived at `arrived`.
 func (s *Server) Complete(arrived, now sim.Time) {
@@ -76,6 +92,13 @@ type PoissonSource struct {
 	mean sim.Time // mean inter-arrival
 	rng  *sim.RNG
 
+	// arrivalFn and notifyFn are bound once at construction and shared
+	// by every scheduled occurrence (the engine stores the same function
+	// value in many pending events), so the per-request path allocates
+	// no closures.
+	arrivalFn sim.EventFunc
+	notifyFn  sim.EventFunc
+
 	issued  uint64
 	stopped bool
 }
@@ -86,13 +109,24 @@ func NewPoissonSource(h *xen.Hypervisor, dom *xen.Domain, srv *Server, ratePerSe
 	if ratePerSec <= 0 {
 		panic("iodev: non-positive request rate")
 	}
-	return &PoissonSource{
+	p := &PoissonSource{
 		h:    h,
 		dom:  dom,
 		srv:  srv,
 		mean: sim.Time(float64(sim.Second) / ratePerSec),
 		rng:  rng,
 	}
+	p.arrivalFn = func(now sim.Time) {
+		if p.stopped {
+			return
+		}
+		p.issue(now)
+		p.scheduleNext()
+	}
+	p.notifyFn = func(t sim.Time) {
+		p.h.NotifyIO(p.dom, p.srv.Port, t)
+	}
+	return p
 }
 
 // Start begins issuing requests.
@@ -107,22 +141,14 @@ func (p *PoissonSource) Stop() { p.stopped = true }
 func (p *PoissonSource) Issued() uint64 { return p.issued }
 
 func (p *PoissonSource) scheduleNext() {
-	p.h.Engine.After(p.rng.ExpTime(p.mean), func(now sim.Time) {
-		if p.stopped {
-			return
-		}
-		p.issue(now)
-		p.scheduleNext()
-	})
+	p.h.Engine.After(p.rng.ExpTime(p.mean), p.arrivalFn)
 }
 
 func (p *PoissonSource) issue(now sim.Time) {
 	p.issued++
 	p.srv.Push(now)
 	// Driver-domain forwarding, then the event-channel upcall.
-	p.h.Engine.After(ForwardDelay, func(t sim.Time) {
-		p.h.NotifyIO(p.dom, p.srv.Port, t)
-	})
+	p.h.Engine.After(ForwardDelay, p.notifyFn)
 }
 
 // ClosedLoopSource models N clients that each keep one request in
@@ -134,6 +160,11 @@ type ClosedLoopSource struct {
 	srv   *Server
 	think sim.Time
 	rng   *sim.RNG
+
+	// issueFn and notifyFn are bound once and shared across occurrences
+	// (see PoissonSource): completions re-issue without allocating.
+	issueFn  sim.EventFunc
+	notifyFn sim.EventFunc
 
 	clients int
 	issued  uint64
@@ -147,6 +178,14 @@ func NewClosedLoopSource(h *xen.Hypervisor, dom *xen.Domain, srv *Server, client
 		panic("iodev: closed loop needs at least one client")
 	}
 	c := &ClosedLoopSource{h: h, dom: dom, srv: srv, think: think, rng: rng, clients: clients}
+	c.issueFn = func(now sim.Time) {
+		if !c.stopped {
+			c.issue(now)
+		}
+	}
+	c.notifyFn = func(t sim.Time) {
+		c.h.NotifyIO(c.dom, c.srv.Port, t)
+	}
 	srv.onComplete = c.completed
 	return c
 }
@@ -154,11 +193,7 @@ func NewClosedLoopSource(h *xen.Hypervisor, dom *xen.Domain, srv *Server, client
 // Start issues the initial burst (one request per client, jittered).
 func (c *ClosedLoopSource) Start() {
 	for i := 0; i < c.clients; i++ {
-		c.h.Engine.After(c.rng.ExpTime(c.think), func(now sim.Time) {
-			if !c.stopped {
-				c.issue(now)
-			}
-		})
+		c.h.Engine.After(c.rng.ExpTime(c.think), c.issueFn)
 	}
 }
 
@@ -172,17 +207,11 @@ func (c *ClosedLoopSource) completed(now sim.Time) {
 	if c.stopped {
 		return
 	}
-	c.h.Engine.After(c.rng.ExpTime(c.think), func(t sim.Time) {
-		if !c.stopped {
-			c.issue(t)
-		}
-	})
+	c.h.Engine.After(c.rng.ExpTime(c.think), c.issueFn)
 }
 
 func (c *ClosedLoopSource) issue(now sim.Time) {
 	c.issued++
 	c.srv.Push(now)
-	c.h.Engine.After(ForwardDelay, func(t sim.Time) {
-		c.h.NotifyIO(c.dom, c.srv.Port, t)
-	})
+	c.h.Engine.After(ForwardDelay, c.notifyFn)
 }

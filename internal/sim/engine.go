@@ -4,10 +4,17 @@
 // ordered by (time, sequence number). Equal-time events fire in the order
 // they were scheduled, so a simulation is fully deterministic given its
 // inputs and RNG seed. Time is measured in integer microseconds.
+//
+// The queue is a flat 4-ary min-heap of (time, seq, slot) entries over a
+// slot table with an intrusive free-list, so scheduling, firing and
+// cancelling events allocates nothing in steady state: the heap and slot
+// slices grow to the simulation's peak pending count and are reused from
+// then on. Hot callers that repeatedly schedule and cancel the same
+// logical callback (one per vCPU, say) should use a Timer, which binds
+// its function once and re-arms without any per-occurrence allocation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -46,49 +53,41 @@ func (t Time) String() string {
 // due time with the engine clock already advanced to that time.
 type EventFunc func(now Time)
 
-// Event is a handle to a scheduled event; it can be cancelled.
+// Event is a value handle to a scheduled event, usable to cancel it.
+// The zero Event is valid and refers to nothing. Handles stay safe after
+// the event fires or is cancelled: the engine detects staleness through
+// a generation counter, so Cancel on a spent handle is a no-op.
 type Event struct {
-	at      Time
-	seq     uint64
-	fn      EventFunc
-	index   int // heap index, -1 when popped or cancelled
-	cancels bool
+	slot int32
+	gen  uint32
 }
 
-// Time reports when the event is due.
-func (e *Event) Time() Time { return e.at }
+// heapEntry is one pending event in the 4-ary min-heap. The full sort
+// key lives in the entry itself so sift comparisons never chase into the
+// slot table.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancels }
-
-// eventQueue implements heap.Interface over pending events.
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// slot carries the callback state of one pending event. Free slots are
+// chained through next; gen increments on every free so stale Event
+// handles (and stale Timer fires) can be detected.
+type slot struct {
+	fn    EventFunc
+	timer *Timer
+	at    Time
+	gen   uint32
+	heap  int32 // index into Engine.heap, -1 when free
+	next  int32 // free-list link, meaningful only when free
 }
 
 // Engine is a discrete-event simulation loop.
@@ -97,7 +96,9 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	heap    []heapEntry
+	slots   []slot
+	free    int32 // head of the slot free-list, -1 when empty
 	stopped bool
 
 	// Stats
@@ -106,7 +107,7 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{free: -1}
 }
 
 // Now reports the current simulated time.
@@ -116,52 +117,185 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are scheduled and not yet fired.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
-// At schedules fn to run at the absolute time at. Scheduling in the past
-// (before Now) panics: that is always a simulation bug.
-func (e *Engine) At(at Time, fn EventFunc) *Event {
+// --- slot table -----------------------------------------------------------
+
+func (e *Engine) allocSlot() int32 {
+	if e.free >= 0 {
+		i := e.free
+		e.free = e.slots[i].next
+		return i
+	}
+	e.slots = append(e.slots, slot{gen: 1, heap: -1})
+	return int32(len(e.slots) - 1)
+}
+
+func (e *Engine) freeSlot(i int32) {
+	s := &e.slots[i]
+	s.fn = nil
+	s.timer = nil
+	s.gen++
+	s.heap = -1
+	s.next = e.free
+	e.free = i
+}
+
+// schedule allocates a slot for (at, fn) and pushes it on the heap.
+func (e *Engine) schedule(at Time, fn EventFunc, t *Timer) int32 {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	i := e.allocSlot()
+	s := &e.slots[i]
+	s.fn = fn
+	s.timer = t
+	s.at = at
+	e.push(heapEntry{at: at, seq: e.seq, slot: i})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	return i
+}
+
+// --- 4-ary heap -----------------------------------------------------------
+
+func (e *Engine) push(en heapEntry) {
+	e.heap = append(e.heap, en)
+	e.siftUp(len(e.heap) - 1)
+}
+
+func (e *Engine) siftUp(i int) {
+	en := e.heap[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(en, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		e.slots[e.heap[i].slot].heap = int32(i)
+		i = p
+	}
+	e.heap[i] = en
+	e.slots[en.slot].heap = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	en := e.heap[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(e.heap[j], e.heap[m]) {
+				m = j
+			}
+		}
+		if !entryLess(e.heap[m], en) {
+			break
+		}
+		e.heap[i] = e.heap[m]
+		e.slots[e.heap[i].slot].heap = int32(i)
+		i = m
+	}
+	e.heap[i] = en
+	e.slots[en.slot].heap = int32(i)
+}
+
+// removeAt deletes the heap entry at index i, preserving heap order.
+func (e *Engine) removeAt(i int) {
+	n := len(e.heap) - 1
+	if i == n {
+		e.heap = e.heap[:n]
+		return
+	}
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	e.heap[i] = last
+	e.slots[last.slot].heap = int32(i)
+	if i > 0 && entryLess(last, e.heap[(i-1)>>2]) {
+		e.siftUp(i)
+	} else {
+		e.siftDown(i)
+	}
+}
+
+// popMin removes and returns the earliest entry.
+func (e *Engine) popMin() heapEntry {
+	en := e.heap[0]
+	n := len(e.heap) - 1
+	if n > 0 {
+		e.heap[0] = e.heap[n]
+		e.slots[e.heap[0].slot].heap = 0
+		e.heap = e.heap[:n]
+		e.siftDown(0)
+	} else {
+		e.heap = e.heap[:0]
+	}
+	return en
+}
+
+// --- public scheduling API ------------------------------------------------
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// (before Now) panics: that is always a simulation bug.
+func (e *Engine) At(at Time, fn EventFunc) Event {
+	i := e.schedule(at, fn, nil)
+	return Event{slot: i, gen: e.slots[i].gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn EventFunc) *Event {
+func (e *Engine) After(d Time, fn EventFunc) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancels || ev.index < 0 {
-		if ev != nil {
-			ev.cancels = true
-		}
-		return
+// Scheduled reports whether ev is still pending (not fired, not
+// cancelled).
+func (e *Engine) Scheduled(ev Event) bool {
+	if ev.gen == 0 || int(ev.slot) >= len(e.slots) {
+		return false
 	}
-	ev.cancels = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	s := &e.slots[ev.slot]
+	return s.gen == ev.gen && s.heap >= 0
+}
+
+// Cancel removes a pending event and reports whether it was still
+// pending. Cancelling an already-fired, already-cancelled or zero Event
+// is a no-op.
+func (e *Engine) Cancel(ev Event) bool {
+	if !e.Scheduled(ev) {
+		return false
+	}
+	s := &e.slots[ev.slot]
+	e.removeAt(int(s.heap))
+	e.freeSlot(ev.slot)
+	return true
 }
 
 // Step fires the next pending event, advancing the clock to its due
 // time. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.at
+	en := e.popMin()
+	s := &e.slots[en.slot]
+	fn := s.fn
+	if t := s.timer; t != nil {
+		t.slot = -1
+	}
+	e.freeSlot(en.slot)
+	e.now = en.at
 	e.fired++
-	ev.fn(e.now)
+	fn(e.now)
 	return true
 }
 
@@ -170,7 +304,7 @@ func (e *Engine) Step() bool {
 // that measurement windows are well defined.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for !e.stopped && len(e.heap) > 0 && e.heap[0].at <= deadline {
 		e.Step()
 	}
 	if !e.stopped && e.now < deadline {
@@ -188,3 +322,58 @@ func (e *Engine) Run() {
 // Stop makes the current Run/RunUntil call return after the event that
 // is currently executing.
 func (e *Engine) Stop() { e.stopped = true }
+
+// --- timers ---------------------------------------------------------------
+
+// Timer is a reusable scheduled callback: the function is bound once and
+// the timer is then armed, fired and re-armed any number of times with
+// no per-occurrence allocation. Each arming gets a fresh sequence
+// number, so a rearmed timer orders against equal-time events exactly as
+// a newly scheduled one would.
+//
+// A Timer is owned by its engine and must not be copied. The zero Timer
+// is not usable; call Engine.NewTimer.
+type Timer struct {
+	e    *Engine
+	fn   EventFunc
+	slot int32 // pending slot, -1 when idle
+}
+
+// NewTimer binds fn to a new idle timer on the engine.
+func (e *Engine) NewTimer(fn EventFunc) *Timer {
+	return &Timer{e: e, fn: fn, slot: -1}
+}
+
+// Armed reports whether the timer has a pending occurrence.
+func (t *Timer) Armed() bool { return t.slot >= 0 }
+
+// When reports the due time of the pending occurrence; meaningless when
+// the timer is not armed.
+func (t *Timer) When() Time {
+	if t.slot < 0 {
+		return 0
+	}
+	return t.e.slots[t.slot].at
+}
+
+// Arm schedules the timer's next occurrence at the absolute time at,
+// replacing any still-pending occurrence (rearm semantics). The timer
+// un-arms itself immediately before its function runs, so the function
+// may re-arm from inside the callback.
+func (t *Timer) Arm(at Time) {
+	t.Stop()
+	t.slot = t.e.schedule(at, t.fn, t)
+}
+
+// Stop cancels the pending occurrence, if any, and reports whether one
+// was pending.
+func (t *Timer) Stop() bool {
+	if t.slot < 0 {
+		return false
+	}
+	s := &t.e.slots[t.slot]
+	t.e.removeAt(int(s.heap))
+	t.e.freeSlot(t.slot)
+	t.slot = -1
+	return true
+}

@@ -69,21 +69,28 @@ func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	ev := e.At(10, func(Time) { fired = true })
-	e.Cancel(ev)
-	e.Cancel(ev) // double cancel is a no-op
+	if !e.Scheduled(ev) {
+		t.Error("event does not report scheduled")
+	}
+	if !e.Cancel(ev) {
+		t.Error("cancel of a pending event reported nothing pending")
+	}
+	if e.Cancel(ev) { // double cancel is a no-op
+		t.Error("double cancel reported a pending event")
+	}
 	e.Run()
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Error("event does not report cancelled")
+	if e.Scheduled(ev) {
+		t.Error("cancelled event still reports scheduled")
 	}
 }
 
 func TestEngineCancelOneOfMany(t *testing.T) {
 	e := NewEngine()
 	var got []Time
-	evs := make([]*Event, 0, 5)
+	evs := make([]Event, 0, 5)
 	for _, at := range []Time{1, 2, 3, 4, 5} {
 		at := at
 		evs = append(evs, e.At(at, func(now Time) { got = append(got, now) }))
@@ -210,7 +217,7 @@ func TestEnginePendingProperty(t *testing.T) {
 	f := func(n uint8, cancelMask uint16) bool {
 		e := NewEngine()
 		count := int(n%32) + 1
-		evs := make([]*Event, count)
+		evs := make([]Event, count)
 		for i := 0; i < count; i++ {
 			evs[i] = e.At(Time(i), func(Time) {})
 		}

@@ -1,0 +1,254 @@
+package sim
+
+import "testing"
+
+// A cancelled event scheduled before a live equal-time event must not
+// perturb the live event's firing order (the heap rewrite moves entries
+// around on removal).
+func TestEngineCancelThenFireOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	var evs []Event
+	// Interleave keepers and cancels at the same instant.
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.At(100, func(Time) { order = append(order, i) }))
+	}
+	for i := 1; i < 20; i += 2 {
+		e.Cancel(evs[i])
+	}
+	// Later-time events behind the cancelled block.
+	fired200 := false
+	e.At(200, func(Time) { fired200 = true })
+	e.Run()
+	want := []int{0, 2, 4, 6, 8, 10, 12, 14, 16, 18}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("equal-time FIFO broken after cancels: %v", order)
+		}
+	}
+	if !fired200 {
+		t.Error("event after cancelled block never fired")
+	}
+}
+
+func TestTimerFiresAndUnarms(t *testing.T) {
+	e := NewEngine()
+	var fires []Time
+	tm := e.NewTimer(func(now Time) { fires = append(fires, now) })
+	if tm.Armed() {
+		t.Error("fresh timer reports armed")
+	}
+	tm.Arm(10)
+	if !tm.Armed() || tm.When() != 10 {
+		t.Errorf("armed timer: Armed=%v When=%v, want true/10", tm.Armed(), tm.When())
+	}
+	e.Run()
+	if len(fires) != 1 || fires[0] != 10 {
+		t.Fatalf("fires = %v, want [10]", fires)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+// Arm on an already-armed timer replaces the pending occurrence: only
+// the latest due time fires, exactly once.
+func TestTimerRearmReplacesPending(t *testing.T) {
+	e := NewEngine()
+	var fires []Time
+	tm := e.NewTimer(func(now Time) { fires = append(fires, now) })
+	tm.Arm(50)
+	tm.Arm(30) // earlier rearm wins
+	e.Run()
+	if len(fires) != 1 || fires[0] != 30 {
+		t.Fatalf("fires = %v, want [30]", fires)
+	}
+
+	fires = nil
+	tm.Arm(60)
+	tm.Arm(90) // later rearm wins too — last Arm is authoritative
+	e.Run()
+	if len(fires) != 1 || fires[0] != 90 {
+		t.Fatalf("fires = %v, want [90]", fires)
+	}
+}
+
+// A rearm gets a fresh sequence number: against an equal-time plain
+// event scheduled between the two arms, the rearmed timer fires second.
+func TestTimerRearmOrdersAsFreshlyScheduled(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	tm := e.NewTimer(func(Time) { order = append(order, "timer") })
+	tm.Arm(100)
+	e.At(100, func(Time) { order = append(order, "plain") })
+	tm.Arm(100) // rearm at the same instant, after the plain event
+	e.Run()
+	if len(order) != 2 || order[0] != "plain" || order[1] != "timer" {
+		t.Fatalf("order = %v, want [plain timer]", order)
+	}
+}
+
+func TestTimerRearmFromInsideCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tm *Timer
+	tm = e.NewTimer(func(now Time) {
+		count++
+		if count < 5 {
+			tm.Arm(now + 10)
+		}
+	})
+	tm.Arm(10)
+	e.Run()
+	if count != 5 {
+		t.Errorf("periodic timer fired %d times, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Errorf("clock %v, want 50", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.NewTimer(func(Time) { fired = true })
+	tm.Arm(10)
+	if !tm.Stop() {
+		t.Error("Stop on armed timer reported nothing pending")
+	}
+	if tm.Stop() {
+		t.Error("Stop on idle timer reported pending")
+	}
+	e.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+// Heavy schedule/cancel churn must not grow the slot table beyond the
+// peak pending count: slots are recycled through the free-list.
+func TestEngineFreeListReuseUnderCancelChurn(t *testing.T) {
+	e := NewEngine()
+	for round := 0; round < 1000; round++ {
+		a := e.At(Time(round)+1, func(Time) {})
+		b := e.At(Time(round)+2, func(Time) {})
+		e.Cancel(a)
+		e.Cancel(b)
+	}
+	if got := len(e.slots); got > 2 {
+		t.Errorf("slot table grew to %d entries under churn, want <= 2", got)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after churn, want 0", e.Pending())
+	}
+	// The engine must still schedule and fire correctly afterwards.
+	fired := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(2000+i), func(Time) { fired++ })
+	}
+	e.Run()
+	if fired != 10 {
+		t.Errorf("fired %d events after churn, want 10", fired)
+	}
+}
+
+// Stale Event handles from before a slot was recycled must not cancel
+// the slot's new occupant.
+func TestEngineStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	e := NewEngine()
+	old := e.At(10, func(Time) {})
+	e.Cancel(old) // frees the slot
+	fired := false
+	e.At(20, func(Time) { fired = true }) // reuses the slot
+	if e.Cancel(old) {
+		t.Error("stale handle cancelled the slot's new occupant")
+	}
+	e.Run()
+	if !fired {
+		t.Error("recycled-slot event did not fire")
+	}
+}
+
+// Equal-time FIFO across a mix of plain events and timers, exercising
+// sift paths of the 4-ary heap with a non-trivial pending set.
+func TestEngineEqualTimeFIFOWide(t *testing.T) {
+	e := NewEngine()
+	const n = 64
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		// Spread some padding events at later times so the heap has depth.
+		e.At(Time(1000+i), func(Time) {})
+		e.At(500, func(Time) { order = append(order, i) })
+	}
+	e.RunUntil(500)
+	if len(order) != n {
+		t.Fatalf("fired %d equal-time events, want %d", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+// --- benchmarks -----------------------------------------------------------
+
+// BenchmarkEngineScheduleFire measures the schedule→fire round trip with
+// a warm free-list (the steady state of a long simulation).
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures schedule→cancel churn, the
+// pattern of preempted bursts.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.At(e.Now()+1, fn)
+		e.Cancel(ev)
+	}
+}
+
+// BenchmarkEngineTimerRearm measures the pre-bound timer path used by
+// the hypervisor's burst machinery.
+func BenchmarkEngineTimerRearm(b *testing.B) {
+	e := NewEngine()
+	tm := e.NewTimer(func(Time) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Arm(e.Now() + 1)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineMixedLoad keeps 1024 pending events and continuously
+// replaces the fired one, measuring heap operations at realistic depth.
+func BenchmarkEngineMixedLoad(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	for i := 0; i < 1024; i++ {
+		e.At(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+1024, fn)
+		e.Step()
+	}
+}

@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata golden artifacts from the current simulator output")
+
+// TestGoldenBenchArtifacts executes the built-in "bench" sweep and
+// compares its JSON and CSV artifacts byte for byte against committed
+// golden files. The simulator is fully deterministic, so any diff means
+// an optimization or refactor changed simulation results — exactly the
+// silent drift this test exists to catch. If a change is *meant* to
+// alter results, regenerate with:
+//
+//	go test ./internal/sweep/ -run Golden -update-golden
+//
+// and justify the new goldens in the PR.
+func TestGoldenBenchArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench sweep is ~100ms per worker; skipped in -short")
+	}
+	spec, ok := Builtin("bench")
+	if !ok {
+		t.Fatal("built-in bench sweep missing")
+	}
+	res, err := Exec(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.Failed(); f > 0 {
+		t.Fatalf("%d of %d runs failed", f, len(res.Runs))
+	}
+
+	var jsonBuf, csvBuf bytes.Buffer
+	if err := res.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, got []byte) {
+		path := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%d bytes)", path, len(got))
+			return
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden %s (run with -update-golden to create): %v", path, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s drifted from golden (%d bytes got, %d want).\n"+
+				"Simulation results changed — if intentional, regenerate with -update-golden and explain in the PR.\n"+
+				"First divergence at byte %d.", name, len(got), len(want), firstDiff(got, want))
+		}
+	}
+	check("bench.golden.json", jsonBuf.Bytes())
+	check("bench.golden.csv", csvBuf.Bytes())
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

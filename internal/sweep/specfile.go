@@ -269,6 +269,22 @@ var builtins = map[string]func() *Spec{
 			Seeds:     3,
 		})
 	},
+	// bench is a small real grid with short windows: 12 runs covering a
+	// lock-heavy and an IO-heavy scenario under three policies. It is
+	// the workload of BenchmarkSweepParallel and of the committed
+	// golden-determinism artifacts (testdata/), so its definition must
+	// stay stable.
+	"bench": func() *Spec {
+		return mustFile(File{
+			Name:      "bench",
+			Scenarios: []string{"S1", "S5"},
+			Policies:  []string{"xen", "microsliced", "aql"},
+			Baseline:  "xen-credit",
+			Seeds:     2,
+			WarmupMS:  400,
+			MeasureMS: 900,
+		})
+	},
 }
 
 func mustFile(f File) *Spec {

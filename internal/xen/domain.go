@@ -59,6 +59,11 @@ type VCPU struct {
 	pcpu     hw.PCPUID // valid while Running
 	lastPCPU hw.PCPUID // last pCPU it ran on (runqueue affinity)
 
+	// endBurst is the vCPU's pre-bound burst-completion timer: one
+	// callback bound at creation, re-armed per burst, so the dispatch
+	// hot path schedules without allocating.
+	endBurst *sim.Timer
+
 	dispatchedAt  sim.Time
 	sliceEnd      sim.Time
 	runnableSince sim.Time

@@ -20,7 +20,9 @@ const (
 // burst is the in-flight execution of one guest step on a pCPU. Compute
 // bursts are planned eagerly through the cache model; if preempted
 // mid-way they are rolled back and re-run with the actually elapsed
-// budget (the insertion clock is additive, so this is exact).
+// budget (the insertion clock is additive, so this is exact). Finished
+// bursts return to the hypervisor's free-list, so steady-state dispatch
+// allocates nothing.
 type burst struct {
 	kind     burstKind
 	thread   *guest.Thread
@@ -31,7 +33,7 @@ type burst struct {
 	planned  cache.BurstResult
 	fpBefore cache.Footprint
 	coreWas  *cache.Footprint
-	event    *sim.Event
+	next     *burst // free-list link, nil while in flight
 }
 
 // Hypervisor owns the machine, the domains, the pools and the dispatch
@@ -46,9 +48,15 @@ type Hypervisor struct {
 	Sched   Scheduler
 
 	guestPCPUs []hw.PCPUID
-	poolOf     map[hw.PCPUID]*CPUPool
-	pools      []*CPUPool
-	running    map[hw.PCPUID]*VCPU
+	// poolOf and running are dense, indexed by hw.PCPUID: the dispatch
+	// path touches them on every decision and map lookups were a
+	// measurable fraction of simulation time.
+	poolOf  []*CPUPool
+	pools   []*CPUPool
+	running []*VCPU
+
+	allVCPUs  []*VCPU // cached AllVCPUs slice, appended on CreateDomain
+	burstFree *burst  // free-list of recycled burst structs
 
 	nextDomID  int
 	nextGlobal int
@@ -81,8 +89,8 @@ func New(topo *hw.Topology, sched Scheduler, seed uint64, opts ...Option) *Hyper
 		Cache:   cache.NewModel(topo),
 		RNG:     sim.NewRNG(seed),
 		Sched:   sched,
-		poolOf:  make(map[hw.PCPUID]*CPUPool),
-		running: make(map[hw.PCPUID]*VCPU),
+		poolOf:  make([]*CPUPool, topo.TotalPCPUs()),
+		running: make([]*VCPU, topo.TotalPCPUs()),
 	}
 	if h.guestPCPUs == nil {
 		for p := 0; p < topo.TotalPCPUs(); p++ {
@@ -113,13 +121,27 @@ func (h *Hypervisor) PoolOf(p hw.PCPUID) *CPUPool { return h.poolOf[p] }
 // RunningOn reports the vCPU currently on pCPU p (nil when idle).
 func (h *Hypervisor) RunningOn(p hw.PCPUID) *VCPU { return h.running[p] }
 
-// AllVCPUs lists every guest vCPU in creation order.
-func (h *Hypervisor) AllVCPUs() []*VCPU {
-	var out []*VCPU
-	for _, d := range h.Domains {
-		out = append(out, d.VCPUs...)
+// AllVCPUs lists every guest vCPU in creation order. The slice is
+// maintained incrementally by CreateDomain; callers must not mutate it.
+func (h *Hypervisor) AllVCPUs() []*VCPU { return h.allVCPUs }
+
+// getBurst pops a recycled burst from the free-list (or allocates the
+// first time a new depth of in-flight bursts is reached).
+func (h *Hypervisor) getBurst() *burst {
+	b := h.burstFree
+	if b == nil {
+		return &burst{}
 	}
-	return out
+	h.burstFree = b.next
+	b.next = nil
+	return b
+}
+
+// putBurst recycles a finished burst. The caller must have dropped every
+// reference to it.
+func (h *Hypervisor) putBurst(b *burst) {
+	*b = burst{next: h.burstFree}
+	h.burstFree = b
 }
 
 // CreateDomain builds a domain with ncpu vCPUs, all initially blocked
@@ -149,7 +171,15 @@ func (h *Hypervisor) CreateDomain(name string, weight, cap, ncpu int) *Domain {
 		}
 		h.nextGlobal++
 		v.lastPCPU = h.pools[0].PCPUs()[v.Global%len(h.pools[0].PCPUs())]
+		// One burst-end callback per vCPU, bound once: re-arming it is
+		// allocation-free no matter how many bursts the vCPU runs.
+		v.endBurst = h.Engine.NewTimer(func(now sim.Time) {
+			if b := v.burst; b != nil {
+				h.burstEnded(v, b, now)
+			}
+		})
 		d.VCPUs = append(d.VCPUs, v)
+		h.allVCPUs = append(h.allVCPUs, v)
 		h.Sched.AddVCPU(v, h.Engine.Now())
 	}
 	h.Domains = append(h.Domains, d)
@@ -186,8 +216,9 @@ func (h *Hypervisor) kick(v *VCPU, now sim.Time) {
 	}
 	b := v.burst
 	v.burst = nil
-	h.Engine.Cancel(b.event)
+	v.endBurst.Stop()
 	h.settleBurst(v, b, now)
+	h.putBurst(b)
 	h.runBurst(v, now)
 }
 
@@ -264,34 +295,28 @@ func (h *Hypervisor) runBurstWithOverhead(v *VCPU, now sim.Time, overhead sim.Ti
 		h.blockVCPU(v, now)
 	case guest.StepRun:
 		budget := v.sliceEnd - now - overhead
-		b := &burst{
-			kind:     burstRun,
-			thread:   step.Thread,
-			prof:     step.Prof,
-			work:     step.Work,
-			start:    now,
-			overhead: overhead,
-			fpBefore: step.Thread.FP,
-			coreWas:  h.Cache.CoreOccupant(v.pcpu),
-		}
+		b := h.getBurst()
+		b.kind = burstRun
+		b.thread = step.Thread
+		b.prof = step.Prof
+		b.work = step.Work
+		b.start = now
+		b.overhead = overhead
+		b.fpBefore = step.Thread.FP
+		b.coreWas = h.Cache.CoreOccupant(v.pcpu)
 		b.planned = h.Cache.Run(&step.Thread.FP, v.pcpu, step.Prof, step.Work, budget)
 		v.burst = b
 		step.Thread.OnCPU = true
-		b.event = h.Engine.At(now+overhead+b.planned.Wall, func(t sim.Time) {
-			h.burstEnded(v, b, t)
-		})
+		v.endBurst.Arm(now + overhead + b.planned.Wall)
 	case guest.StepSpin:
-		b := &burst{
-			kind:     burstSpin,
-			thread:   step.Thread,
-			start:    now,
-			overhead: overhead,
-		}
+		b := h.getBurst()
+		b.kind = burstSpin
+		b.thread = step.Thread
+		b.start = now
+		b.overhead = overhead
 		v.burst = b
 		step.Thread.OnCPU = true
-		b.event = h.Engine.At(v.sliceEnd, func(t sim.Time) {
-			h.burstEnded(v, b, t)
-		})
+		v.endBurst.Arm(v.sliceEnd)
 	default:
 		panic(fmt.Sprintf("xen: unknown step kind %d", step.Kind))
 	}
@@ -315,6 +340,7 @@ func (h *Hypervisor) burstEnded(v *VCPU, b *burst, now sim.Time) {
 			v.Counters.Add(cache.SpinCounters(d))
 		}
 	}
+	h.putBurst(b)
 	if now >= v.sliceEnd {
 		h.endSlice(v, now)
 		return
@@ -354,8 +380,9 @@ func (h *Hypervisor) stopRunning(v *VCPU, now sim.Time) {
 	}
 	if b := v.burst; b != nil {
 		v.burst = nil
-		h.Engine.Cancel(b.event)
+		v.endBurst.Stop()
 		h.settleBurst(v, b, now)
+		h.putBurst(b)
 	}
 	v.RunTime += now - v.dispatchedAt
 	h.running[v.pcpu] = nil
@@ -369,8 +396,9 @@ func (h *Hypervisor) endSlice(v *VCPU, now sim.Time) {
 	ranFor := now - v.dispatchedAt
 	if b := v.burst; b != nil {
 		v.burst = nil
-		h.Engine.Cancel(b.event)
+		v.endBurst.Stop()
 		h.settleBurst(v, b, now)
+		h.putBurst(b)
 	}
 	v.RunTime += ranFor
 	h.running[p] = nil
@@ -385,8 +413,9 @@ func (h *Hypervisor) blockVCPU(v *VCPU, now sim.Time) {
 	p := v.pcpu
 	if b := v.burst; b != nil {
 		v.burst = nil
-		h.Engine.Cancel(b.event)
+		v.endBurst.Stop()
 		h.settleBurst(v, b, now)
+		h.putBurst(b)
 	}
 	v.RunTime += now - v.dispatchedAt
 	h.running[p] = nil
@@ -410,6 +439,10 @@ func (pp *PoolPlan) Validate(h *Hypervisor) error {
 	seen := make(map[hw.PCPUID]bool)
 	for _, pool := range pp.Pools {
 		for _, p := range pool.PCPUs() {
+			if p < 0 || int(p) >= h.Topo.TotalPCPUs() {
+				return fmt.Errorf("xen: pool %s lists pCPU %d outside the topology (%d pCPUs)",
+					pool.Name, p, h.Topo.TotalPCPUs())
+			}
 			if seen[p] {
 				return fmt.Errorf("xen: pCPU %d in two pools", p)
 			}
@@ -450,8 +483,8 @@ func (h *Hypervisor) ApplyPlan(pp *PoolPlan, now sim.Time) error {
 		return err
 	}
 	h.pools = pp.Pools
-	for p := range h.poolOf {
-		delete(h.poolOf, p)
+	for i := range h.poolOf {
+		h.poolOf[i] = nil
 	}
 	for _, pool := range pp.Pools {
 		for _, p := range pool.PCPUs() {

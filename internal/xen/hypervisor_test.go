@@ -291,6 +291,12 @@ func TestApplyPlanRejectsBadPlans(t *testing.T) {
 	if err := h.ApplyPlan(bad3, h.Engine.Now()); err == nil {
 		t.Error("overlapping pools accepted")
 	}
+	// pCPU outside the topology: must be an error, not an index panic.
+	px := NewCPUPool("px", sim.Millisecond, []hw.PCPUID{0, 1, 99})
+	bad4 := &PoolPlan{Pools: []*CPUPool{px}, Assign: map[*VCPU]*CPUPool{d.VCPUs[0]: px}}
+	if err := h.ApplyPlan(bad4, h.Engine.Now()); err == nil {
+		t.Error("plan with out-of-topology pCPU accepted")
+	}
 }
 
 func TestDeterminismSameSeedSameTrace(t *testing.T) {

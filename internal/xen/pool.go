@@ -18,8 +18,10 @@ type CPUPool struct {
 	// Slice is the pool's quantum length.
 	Slice sim.Time
 
-	pcpus  []hw.PCPUID
-	member map[hw.PCPUID]bool
+	pcpus []hw.PCPUID
+	// member is a dense membership table indexed by pCPU ID: Contains
+	// sits on the dispatch hot path, where a map lookup was measurable.
+	member []bool
 }
 
 // NewCPUPool builds a pool over the given pCPUs with the given quantum.
@@ -30,8 +32,15 @@ func NewCPUPool(name string, slice sim.Time, pcpus []hw.PCPUID) *CPUPool {
 	if len(pcpus) == 0 {
 		panic(fmt.Sprintf("xen: pool %q with no pCPUs", name))
 	}
-	p := &CPUPool{Name: name, Slice: slice, member: make(map[hw.PCPUID]bool, len(pcpus))}
+	p := &CPUPool{Name: name, Slice: slice}
 	p.pcpus = append(p.pcpus, pcpus...)
+	maxID := hw.PCPUID(0)
+	for _, c := range pcpus {
+		if c > maxID {
+			maxID = c
+		}
+	}
+	p.member = make([]bool, maxID+1)
 	for _, c := range pcpus {
 		if p.member[c] {
 			panic(fmt.Sprintf("xen: pool %q lists pCPU %d twice", name, c))
@@ -45,7 +54,9 @@ func NewCPUPool(name string, slice sim.Time, pcpus []hw.PCPUID) *CPUPool {
 func (p *CPUPool) PCPUs() []hw.PCPUID { return p.pcpus }
 
 // Contains reports whether the pool includes pCPU c.
-func (p *CPUPool) Contains(c hw.PCPUID) bool { return p.member[c] }
+func (p *CPUPool) Contains(c hw.PCPUID) bool {
+	return c >= 0 && int(c) < len(p.member) && p.member[c]
+}
 
 // String renders the pool for diagnostics.
 func (p *CPUPool) String() string {
