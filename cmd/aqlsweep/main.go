@@ -13,7 +13,14 @@
 //
 //	{
 //	  "name": "grid",
-//	  "scenarios": ["S1", "S2", "S5", "four-socket"],
+//	  "topologies": {"dual-8": {"sockets": 2, "cores_per_socket": 8, "llc_mb": 12}},
+//	  "scenarios": [
+//	    "S1", "four-socket",
+//	    {"name": "S5", "topology": "dual-8"},
+//	    {"gen": {"vcpus": 32, "oversub": 4, "topology": "dual-8",
+//	             "mix": {"IOInt": 0.25, "ConSpin": 0.25, "LLCF": 0.5},
+//	             "apps": ["bzip2"]}}
+//	  ],
 //	  "policies": ["xen", "aql", "vturbo", "fixed:10ms"],
 //	  "baseline": "xen-credit",
 //	  "seeds": 3,
@@ -21,19 +28,24 @@
 //	  "measure_ms": 2500
 //	}
 //
-// Progress goes to stderr; the aggregate table goes to stdout.
+// Every name resolves through the internal/catalog registries; -list
+// prints them. Progress goes to stderr; the aggregate table goes to
+// stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strings"
 	"time"
 
+	"aqlsched/internal/catalog"
 	"aqlsched/internal/sim"
 	"aqlsched/internal/sweep"
 )
@@ -41,7 +53,7 @@ import (
 func main() {
 	var (
 		specArg = flag.String("spec", "", "sweep spec: JSON file path or built-in name (see -list)")
-		list    = flag.Bool("list", false, "list built-in sweeps and exit")
+		list    = flag.Bool("list", false, "list the catalog (topologies, scenarios, workloads, policies) and built-in sweeps, then exit")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		out     = flag.String("out", "", "output directory for <name>.json/.csv/.txt artifacts")
 		seeds   = flag.Int("seeds", 0, "override seed replications per cell")
@@ -56,12 +68,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("built-in sweeps:")
-		for _, n := range sweep.BuiltinNames() {
-			s, _ := sweep.Builtin(n)
-			fmt.Printf("  %-14s %d scenarios x %d policies x %d seeds\n",
-				n, len(s.Scenarios), len(s.Policies), max(s.Seeds, 1))
-		}
+		printCatalog(os.Stdout)
 		return
 	}
 	if *specArg == "" {
@@ -131,6 +138,39 @@ func main() {
 		stopProfiling()
 		os.Exit(1)
 	}
+}
+
+// printCatalog lists every name a spec file may reference: registered
+// topologies, scenarios, workloads, the policy grammar, and the
+// built-in sweeps.
+func printCatalog(w io.Writer) {
+	fmt.Fprintln(w, "topologies (spec files may also define their own under \"topologies\"):")
+	for _, n := range catalog.TopologyNames() {
+		t, err := catalog.TopologyByName(n)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-16s %d socket(s) x %d cores, %d MB LLC/socket\n",
+			n, t.Sockets, t.CoresPerSocket, t.LLC.Size/(1024*1024))
+	}
+
+	fmt.Fprintln(w, "\nscenarios (plus generated ones via {\"gen\": {...}} entries):")
+	fmt.Fprintf(w, "  %s\n", strings.Join(catalog.Scenarios.Names(), " "))
+
+	fmt.Fprintln(w, "\nworkloads (for \"apps\" lists in generator blocks):")
+	fmt.Fprintf(w, "  %s\n", strings.Join(catalog.Workloads.Names(), " "))
+
+	fmt.Fprintln(w, "\npolicies:")
+	fmt.Fprintf(w, "  %s\n", strings.Join(catalog.PolicyGrammar(), " "))
+
+	fmt.Fprintln(w, "\nbuilt-in sweeps:")
+	for _, n := range sweep.BuiltinNames() {
+		s, _ := sweep.Builtin(n)
+		fmt.Fprintf(w, "  %-14s %d scenarios x %d policies x %d seeds\n",
+			n, len(s.Scenarios), len(s.Policies), max(s.Seeds, 1))
+	}
+
+	fmt.Fprintln(w, "\nSee EXPERIMENTS.md \"Authoring custom scenarios\" for the spec-file schema.")
 }
 
 // startProfiling arms the requested profilers and returns an idempotent

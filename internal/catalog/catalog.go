@@ -1,0 +1,214 @@
+// Package catalog is the name → factory registry layer between the
+// paper's concrete catalogue (machines, benchmark apps, colocation
+// scenarios, scheduling policies) and everything that references
+// experiment axes by name (sweep spec files, cmd/aqlsweep, the
+// experiments package). Each axis has a registry; the paper's entries
+// register themselves in papers.go, and new entries — generated
+// scenarios, custom machines — join through the same Register calls, so
+// spec authors and tools discover every valid name from one place.
+//
+// Registries hold factories, not values: every lookup constructs fresh
+// state, which is what lets the sweep layer run grid cells concurrently
+// without sharing topologies, app slices or policy controllers.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"aqlsched/internal/hw"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/workload"
+)
+
+// Registry is a concurrency-safe name → factory table for one kind of
+// catalog entry.
+type Registry[T any] struct {
+	kind string
+	mu   sync.RWMutex
+	m    map[string]T
+}
+
+// NewRegistry returns an empty registry; kind names the entry type in
+// error messages ("scenario", "workload", ...).
+func NewRegistry[T any](kind string) *Registry[T] {
+	return &Registry[T]{kind: kind, m: map[string]T{}}
+}
+
+// Register adds an entry. It panics on an empty name or a duplicate:
+// registries are populated from init functions and a collision is a
+// programming error, not an input error.
+func (r *Registry[T]) Register(name string, v T) {
+	if name == "" {
+		panic("catalog: Register with empty " + r.kind + " name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[name]; dup {
+		panic(fmt.Sprintf("catalog: %s %q registered twice", r.kind, name))
+	}
+	r.m[name] = v
+}
+
+// Lookup finds an entry by name.
+func (r *Registry[T]) Lookup(name string) (T, error) {
+	r.mu.RLock()
+	v, ok := r.m[name]
+	r.mu.RUnlock()
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("catalog: unknown %s %q (known: %s)", r.kind, name, strings.Join(r.Names(), ", "))
+	}
+	return v, nil
+}
+
+// Has reports whether name is registered.
+func (r *Registry[T]) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.m[name]
+	return ok
+}
+
+// Names lists the registered names, sorted.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- Domain registries -----------------------------------------------------
+
+// Scenario is one resolvable scenario axis point: a display name plus a
+// constructor returning a fresh scenario.Spec per run.
+type Scenario struct {
+	Name string
+	New  func() scenario.Spec
+}
+
+// Policy is one resolvable policy axis point: the canonical display
+// name plus a constructor returning a fresh policy instance per run.
+type Policy struct {
+	Name string
+	New  func() scenario.Policy
+}
+
+// Scenarios maps scenario names (S1..S5, four-socket, and anything
+// registered later) to spec constructors.
+var Scenarios = NewRegistry[func() scenario.Spec]("scenario")
+
+// Workloads maps benchmark application names to AppSpec factories.
+var Workloads = NewRegistry[func() workload.AppSpec]("workload")
+
+// ScenarioByName resolves a scenario axis point.
+func ScenarioByName(name string) (Scenario, error) {
+	f, err := Scenarios.Lookup(name)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{Name: name, New: f}, nil
+}
+
+// WorkloadByName resolves a benchmark application by name, with a
+// clean error for user-supplied names (spec files).
+func WorkloadByName(name string) (workload.AppSpec, error) {
+	f, err := Workloads.Lookup(name)
+	if err != nil {
+		return workload.AppSpec{}, err
+	}
+	return f(), nil
+}
+
+// --- Policies: exact names plus a prefix grammar ---------------------------
+//
+// Policies are parameterized ("fixed:10ms", "aql-nocustom:1ms"), so the
+// policy catalog is an exact-name registry plus prefix parsers.
+
+var (
+	policies = NewRegistry[Policy]("policy")
+
+	prefixMu sync.RWMutex
+	prefixes []policyPrefix
+)
+
+type policyPrefix struct {
+	prefix string
+	hint   string // e.g. "<duration>", shown by the -list grammar
+	parse  func(arg string) (Policy, error)
+}
+
+// RegisterPolicy registers a policy under a lookup alias. The Policy's
+// Name is the canonical display name and may differ from the alias
+// ("xen" resolves to the policy named "xen-credit").
+func RegisterPolicy(alias string, p Policy) { policies.Register(alias, p) }
+
+// RegisterPolicyPrefix registers a parameterized policy family: names
+// of the form "<prefix><arg>" resolve through parse. hint documents the
+// argument shape in the grammar listing.
+func RegisterPolicyPrefix(prefix, hint string, parse func(arg string) (Policy, error)) {
+	if prefix == "" || parse == nil {
+		panic("catalog: RegisterPolicyPrefix needs a prefix and a parser")
+	}
+	prefixMu.Lock()
+	defer prefixMu.Unlock()
+	for _, p := range prefixes {
+		if p.prefix == prefix {
+			panic(fmt.Sprintf("catalog: policy prefix %q registered twice", prefix))
+		}
+	}
+	prefixes = append(prefixes, policyPrefix{prefix: prefix, hint: hint, parse: parse})
+}
+
+// PolicyByName resolves a policy axis point: an exact alias or a
+// registered "<prefix><arg>" form.
+func PolicyByName(name string) (Policy, error) {
+	if p, err := policies.Lookup(name); err == nil {
+		return p, nil
+	}
+	prefixMu.RLock()
+	defer prefixMu.RUnlock()
+	for _, pp := range prefixes {
+		if arg, ok := strings.CutPrefix(name, pp.prefix); ok {
+			return pp.parse(arg)
+		}
+	}
+	return Policy{}, fmt.Errorf("catalog: unknown policy %q (want one of %s)", name, strings.Join(PolicyGrammar(), ", "))
+}
+
+// PolicyNames lists the exact policy aliases, sorted.
+func PolicyNames() []string { return policies.Names() }
+
+// PolicyGrammar lists every valid policy spelling: the exact aliases
+// plus the parameterized forms ("fixed:<duration>").
+func PolicyGrammar() []string {
+	out := policies.Names()
+	prefixMu.RLock()
+	defer prefixMu.RUnlock()
+	for _, pp := range prefixes {
+		out = append(out, pp.prefix+pp.hint)
+	}
+	return out
+}
+
+// --- Topologies ------------------------------------------------------------
+//
+// The canonical topology registry lives in internal/hw so that layers
+// below the catalog (scenario generation) can resolve machines without
+// importing it; the catalog exposes the same registry as its topology
+// axis.
+
+// TopologyByName returns a fresh copy of a registered machine.
+func TopologyByName(name string) (*hw.Topology, error) { return hw.TopologyByName(name) }
+
+// TopologyNames lists the registered machines, sorted.
+func TopologyNames() []string { return hw.TopologyNames() }
+
+// RegisterTopology adds a named machine to the shared registry.
+func RegisterTopology(name string, f func() *hw.Topology) { hw.RegisterTopology(name, f) }

@@ -1,0 +1,158 @@
+package catalog
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	r := NewRegistry[int]("widget")
+	r.Register("a", 1)
+	r.Register("b", 2)
+	if v, err := r.Lookup("a"); err != nil || v != 1 {
+		t.Errorf("Lookup(a) = %d, %v", v, err)
+	}
+	if !r.Has("b") || r.Has("c") {
+		t.Error("Has is wrong")
+	}
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Names = %v", got)
+	}
+	if _, err := r.Lookup("c"); err == nil || !strings.Contains(err.Error(), "widget") {
+		t.Errorf("miss error = %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate Register did not panic")
+			}
+		}()
+		r.Register("a", 3)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty-name Register did not panic")
+			}
+		}()
+		r.Register("", 3)
+	}()
+}
+
+// TestPaperScenariosRegistered: the catalog resolves every paper
+// scenario to exactly what the scenario package constructs directly.
+func TestPaperScenariosRegistered(t *testing.T) {
+	for _, name := range []string{"S1", "S2", "S3", "S4", "S5"} {
+		sc, err := ScenarioByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := sc.New()
+		want := scenario.ScenarioByName(name, 0)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: catalog spec differs from scenario.ScenarioByName", name)
+		}
+	}
+	fs, err := ScenarioByName("four-socket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fs.New(), scenario.FourSocket(0); !reflect.DeepEqual(got, want) {
+		t.Error("four-socket: catalog spec differs from scenario.FourSocket")
+	}
+	if _, err := ScenarioByName("S9"); err == nil {
+		t.Error("unknown scenario resolved")
+	}
+}
+
+func TestWorkloadsRegistered(t *testing.T) {
+	names := Workloads.Names()
+	if len(names) < 20 {
+		t.Fatalf("only %d workloads registered: %v", len(names), names)
+	}
+	s, err := WorkloadByName("bzip2")
+	if err != nil || s.Name != "bzip2" {
+		t.Fatalf("WorkloadByName(bzip2) = %+v, %v", s, err)
+	}
+	if _, err := WorkloadByName("quake3"); err == nil {
+		t.Error("unknown workload resolved")
+	}
+}
+
+func TestPolicyGrammar(t *testing.T) {
+	for name, want := range map[string]string{
+		"xen":              "xen-credit",
+		"xen-credit":       "xen-credit",
+		"aql":              "aql",
+		"vturbo":           "vturbo",
+		"vslicer":          "vslicer",
+		"microsliced":      "microsliced",
+		"fixed:10ms":       "fixed-10.000ms",
+		"aql-nocustom:1ms": "",
+	} {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if want != "" && p.Name != want {
+			t.Errorf("%s resolved to %q, want %q", name, p.Name, want)
+		}
+		if p.New == nil || p.New() == nil {
+			t.Errorf("%s: no constructor", name)
+		}
+	}
+	for _, bad := range []string{"", "frob", "fixed:", "fixed:-3ms", "fixed:zebra", "aql-nocustom:0"} {
+		if _, err := PolicyByName(bad); err == nil {
+			t.Errorf("bad policy %q resolved", bad)
+		}
+	}
+	grammar := PolicyGrammar()
+	joined := strings.Join(grammar, " ")
+	for _, want := range []string{"xen", "aql", "fixed:<duration>", "aql-nocustom:<duration>"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("grammar %v missing %q", grammar, want)
+		}
+	}
+}
+
+// TestPolicyInstancesAreFresh: each New() must build independent state
+// (the AQL controller slot) so concurrent sweep runs never share it.
+func TestPolicyInstancesAreFresh(t *testing.T) {
+	p, err := PolicyByName("aql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p.New(), p.New()
+	if a == b {
+		t.Error("aql policy instances are shared")
+	}
+}
+
+func TestTopologiesExposed(t *testing.T) {
+	names := TopologyNames()
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "i7-3770") || !strings.Contains(joined, "xeon-e5-4603") {
+		t.Fatalf("paper machines missing from catalog: %v", names)
+	}
+	topo, err := TopologyByName("xeon-e5-4603")
+	if err != nil || topo.Sockets != 4 {
+		t.Errorf("TopologyByName(xeon-e5-4603) = %+v, %v", topo, err)
+	}
+}
+
+func TestParseQuantum(t *testing.T) {
+	q, err := ParseQuantum("10ms")
+	if err != nil || q != 10*sim.Millisecond {
+		t.Errorf("ParseQuantum(10ms) = %v, %v", q, err)
+	}
+	for _, bad := range []string{"", "-3ms", "0", "zebra"} {
+		if _, err := ParseQuantum(bad); err == nil {
+			t.Errorf("ParseQuantum(%q) accepted", bad)
+		}
+	}
+}

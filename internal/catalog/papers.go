@@ -1,0 +1,134 @@
+package catalog
+
+import (
+	"fmt"
+	"time"
+
+	"aqlsched/internal/baselines"
+	"aqlsched/internal/core"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/workload"
+)
+
+// The paper's catalogue registers itself: Table 4's five colocation
+// scenarios plus the four-socket case, the full reference benchmark
+// suite, and every scheduling policy of the evaluation. The topology
+// entries ("i7-3770", "xeon-e5-4603") self-register in internal/hw.
+func init() {
+	// Scenarios. Seed 0 in the constructors: the sweep layer overrides
+	// the simulation seed per run.
+	for _, s := range scenario.Table4(0) {
+		name := s.Name
+		Scenarios.Register(name, func() scenario.Spec {
+			return scenario.ScenarioByName(name, 0)
+		})
+	}
+	Scenarios.Register("four-socket", func() scenario.Spec {
+		return scenario.FourSocket(0)
+	})
+
+	// Workloads: the reference suite (SPECweb2009, SPECmail2009,
+	// SPEC CPU2006, PARSEC).
+	for _, s := range workload.Suite() {
+		s := s
+		Workloads.Register(s.Name, func() workload.AppSpec { return s })
+	}
+
+	// Policies: exact aliases (both the spec-file spelling and the
+	// canonical display name resolve) ...
+	register := func(p Policy, aliases ...string) {
+		for _, a := range aliases {
+			RegisterPolicy(a, p)
+		}
+	}
+	register(XenPolicy(), "xen", "xen-credit")
+	register(AQLPolicy(), "aql")
+	register(VTurboPolicy(), "vturbo")
+	register(VSlicerPolicy(), "vslicer")
+	register(MicroslicedPolicy(), "microsliced")
+
+	// ... plus the parameterized families.
+	RegisterPolicyPrefix("fixed:", "<duration>", func(arg string) (Policy, error) {
+		q, err := ParseQuantum(arg)
+		if err != nil {
+			return Policy{}, err
+		}
+		return FixedPolicy(q), nil
+	})
+	RegisterPolicyPrefix("aql-nocustom:", "<duration>", func(arg string) (Policy, error) {
+		q, err := ParseQuantum(arg)
+		if err != nil {
+			return Policy{}, err
+		}
+		return AQLNoCustomPolicy(q), nil
+	})
+}
+
+// XenPolicy is the unmodified credit scheduler (the usual baseline).
+func XenPolicy() Policy {
+	return Policy{Name: baselines.XenDefault{}.Name(), New: func() scenario.Policy {
+		return baselines.XenDefault{}
+	}}
+}
+
+// AQLPolicy is the paper's system. Every run gets a fresh controller
+// output slot, retrievable via sweep.RunResult.Controller.
+func AQLPolicy() Policy {
+	return Policy{Name: baselines.AQL{}.Name(), New: func() scenario.Policy {
+		return baselines.AQL{Out: new(*core.Controller)}
+	}}
+}
+
+// AQLNoCustomPolicy is the Fig. 7 ablation: clustering stays active but
+// every pool runs the fixed quantum q.
+func AQLNoCustomPolicy(q sim.Time) Policy {
+	name := baselines.AQL{DisableCustomization: true, FixedQuantum: q}.Name()
+	return Policy{Name: name, New: func() scenario.Policy {
+		return baselines.AQL{DisableCustomization: true, FixedQuantum: q, Out: new(*core.Controller)}
+	}}
+}
+
+// FixedPolicy runs every vCPU at quantum q in one pool.
+func FixedPolicy(q sim.Time) Policy {
+	name := baselines.FixedQuantum{Q: q}.Name()
+	return Policy{Name: name, New: func() scenario.Policy {
+		return baselines.FixedQuantum{Q: q}
+	}}
+}
+
+// VTurboPolicy, VSlicerPolicy and MicroslicedPolicy are the related
+// systems of Fig. 8, manually configured as in the paper.
+func VTurboPolicy() Policy {
+	return Policy{Name: baselines.VTurbo{}.Name(), New: func() scenario.Policy {
+		return baselines.VTurbo{}
+	}}
+}
+
+// VSlicerPolicy differentiates IO-intensive slices on shared pools.
+func VSlicerPolicy() Policy {
+	return Policy{Name: baselines.VSlicer{}.Name(), New: func() scenario.Policy {
+		return baselines.VSlicer{}
+	}}
+}
+
+// MicroslicedPolicy shortens the quantum for every vCPU.
+func MicroslicedPolicy() Policy {
+	m := baselines.Microsliced()
+	return Policy{Name: m.Name(), New: func() scenario.Policy {
+		return baselines.Microsliced()
+	}}
+}
+
+// ParseQuantum parses a quantum duration argument ("10ms", "90ms").
+func ParseQuantum(s string) (sim.Time, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("catalog: bad quantum %q: %v", s, err)
+	}
+	q := sim.Time(d / time.Microsecond)
+	if q <= 0 {
+		return 0, fmt.Errorf("catalog: quantum %q must be positive", s)
+	}
+	return q, nil
+}

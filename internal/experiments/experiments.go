@@ -27,6 +27,7 @@ package experiments
 import (
 	"fmt"
 
+	"aqlsched/internal/catalog"
 	"aqlsched/internal/hw"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
@@ -73,13 +74,13 @@ func mustSweep(sp *sweep.Spec, opts sweep.Options) *sweep.Result {
 	return res
 }
 
-// mustScenario resolves a catalogue scenario for a sweep axis.
+// mustScenario resolves a catalog scenario for a sweep axis.
 func mustScenario(name string) sweep.Scenario {
-	sc, err := sweep.ScenarioByName(name)
+	sc, err := catalog.ScenarioByName(name)
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}
-	return sc
+	return sweep.Scenario(sc)
 }
 
 // windows returns (warmup, measure).

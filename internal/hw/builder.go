@@ -1,0 +1,143 @@
+package hw
+
+import (
+	"fmt"
+
+	"aqlsched/internal/sim"
+)
+
+// TopologyBuilder constructs validated Topology values from a compact,
+// JSON-friendly parameter set: socket/core counts plus cache geometry
+// and memory-system knobs in human units (KB/MB, ns, GB/s, µs). Zero
+// fields take the calibration machine's defaults (Table 2's i7-3770),
+// so the minimal builder only names the machine shape:
+//
+//	topo, err := hw.TopologyBuilder{Sockets: 2, CoresPerSocket: 8}.Build()
+//
+// The JSON tags are the spec-file schema: sweep spec files may define
+// machines inline under "topologies" (see internal/sweep).
+type TopologyBuilder struct {
+	Sockets        int `json:"sockets"`
+	CoresPerSocket int `json:"cores_per_socket"`
+
+	// Cache capacities: L1/L2 in KB, LLC in MB.
+	L1KB  int64   `json:"l1_kb,omitempty"`
+	L2KB  int64   `json:"l2_kb,omitempty"`
+	LLCMB float64 `json:"llc_mb,omitempty"`
+
+	// Associativity and line size (bytes, shared by all levels).
+	L1Ways   int   `json:"l1_ways,omitempty"`
+	L2Ways   int   `json:"l2_ways,omitempty"`
+	LLCWays  int   `json:"llc_ways,omitempty"`
+	LineSize int64 `json:"line_size,omitempty"`
+
+	// Load-to-use latencies in nanoseconds.
+	L1NS  int64 `json:"l1_ns,omitempty"`
+	L2NS  int64 `json:"l2_ns,omitempty"`
+	LLCNS int64 `json:"llc_ns,omitempty"`
+	MemNS int64 `json:"mem_ns,omitempty"`
+
+	// MemGBps is the per-socket fill bandwidth in GB/s.
+	MemGBps float64 `json:"mem_gbps,omitempty"`
+	// CtxSwitchUS is the direct context-switch cost in microseconds.
+	CtxSwitchUS float64 `json:"ctx_switch_us,omitempty"`
+}
+
+// withDefaults returns a copy with every zero knob replaced by the
+// i7-3770 calibration value.
+func (b TopologyBuilder) withDefaults() TopologyBuilder {
+	def := func(v *int64, d int64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	defI := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	defF := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&b.L1KB, 32)
+	def(&b.L2KB, 256)
+	defF(&b.LLCMB, 8)
+	defI(&b.L1Ways, 8)
+	defI(&b.L2Ways, 8)
+	defI(&b.LLCWays, 20)
+	def(&b.LineSize, 64)
+	def(&b.L1NS, 1)
+	def(&b.L2NS, 4)
+	def(&b.LLCNS, 12)
+	def(&b.MemNS, 80)
+	defF(&b.MemGBps, 12)
+	defF(&b.CtxSwitchUS, 3)
+	return b
+}
+
+// Validate reports an error when the parameters cannot yield a usable
+// topology. Zero knobs are validated after default substitution, so
+// only explicitly bad values are rejected.
+func (b TopologyBuilder) Validate() error {
+	if b.Sockets <= 0 {
+		return fmt.Errorf("hw: builder needs at least one socket, got %d", b.Sockets)
+	}
+	if b.CoresPerSocket <= 0 {
+		return fmt.Errorf("hw: builder needs at least one core per socket, got %d", b.CoresPerSocket)
+	}
+	d := b.withDefaults()
+	switch {
+	case d.L1KB < 0 || d.L2KB < 0 || d.LLCMB < 0:
+		return fmt.Errorf("hw: builder cache sizes must be positive")
+	case d.L1Ways < 0 || d.L2Ways < 0 || d.LLCWays < 0:
+		return fmt.Errorf("hw: builder associativities must be positive")
+	case d.LineSize < 0:
+		return fmt.Errorf("hw: builder line size must be positive, got %d", d.LineSize)
+	case d.L1NS < 0 || d.L2NS < 0 || d.LLCNS < 0 || d.MemNS < 0:
+		return fmt.Errorf("hw: builder latencies must be positive")
+	case d.MemGBps < 0:
+		return fmt.Errorf("hw: builder memory bandwidth must be positive, got %v GB/s", d.MemGBps)
+	case d.CtxSwitchUS < 0:
+		return fmt.Errorf("hw: builder context-switch cost must be positive, got %v µs", d.CtxSwitchUS)
+	}
+	l1 := d.L1KB * KB
+	l2 := d.L2KB * KB
+	llc := int64(d.LLCMB * float64(MB))
+	if !(l1 < l2 && l2 < llc) {
+		return fmt.Errorf("hw: builder cache hierarchy must grow: L1 %d B < L2 %d B < LLC %d B", l1, l2, llc)
+	}
+	return nil
+}
+
+// Build validates the parameters and constructs the topology.
+func (b TopologyBuilder) Build() (*Topology, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	d := b.withDefaults()
+	t := &Topology{
+		Sockets:        d.Sockets,
+		CoresPerSocket: d.CoresPerSocket,
+		L1:             CacheSpec{Size: d.L1KB * KB, Ways: d.L1Ways, LineSize: d.LineSize, LatencyNS: d.L1NS},
+		L2:             CacheSpec{Size: d.L2KB * KB, Ways: d.L2Ways, LineSize: d.LineSize, LatencyNS: d.L2NS},
+		LLC:            CacheSpec{Size: int64(d.LLCMB * float64(MB)), Ways: d.LLCWays, LineSize: d.LineSize, LatencyNS: d.LLCNS, SharedLLC: true},
+		MemLatencyNS:   d.MemNS,
+		MemBandwidth:   int64(d.MemGBps * float64(GB)),
+		CtxSwitchCost:  sim.Time(d.CtxSwitchUS * float64(sim.Microsecond)),
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustBuild is Build for statically known-good parameters.
+func (b TopologyBuilder) MustBuild() *Topology {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,144 @@
+package hw
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"aqlsched/internal/sim"
+)
+
+func TestBuilderDefaultsAreI73770(t *testing.T) {
+	got, err := TopologyBuilder{Sockets: 1, CoresPerSocket: 8}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Topology{
+		Sockets:        1,
+		CoresPerSocket: 8,
+		L1:             CacheSpec{Size: 32 * KB, Ways: 8, LineSize: 64, LatencyNS: 1},
+		L2:             CacheSpec{Size: 256 * KB, Ways: 8, LineSize: 64, LatencyNS: 4},
+		LLC:            CacheSpec{Size: 8 * MB, Ways: 20, LineSize: 64, LatencyNS: 12, SharedLLC: true},
+		MemLatencyNS:   80,
+		MemBandwidth:   12 * GB,
+		CtxSwitchCost:  3 * sim.Microsecond,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("builder defaults drifted from the Table 2 machine:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestBuilderXeonMatchesSection42(t *testing.T) {
+	got := XeonE54603()
+	want := &Topology{
+		Sockets:        4,
+		CoresPerSocket: 4,
+		L1:             CacheSpec{Size: 32 * KB, Ways: 8, LineSize: 64, LatencyNS: 1},
+		L2:             CacheSpec{Size: 256 * KB, Ways: 8, LineSize: 64, LatencyNS: 4},
+		LLC:            CacheSpec{Size: 10 * MB, Ways: 20, LineSize: 64, LatencyNS: 14, SharedLLC: true},
+		MemLatencyNS:   95,
+		MemBandwidth:   10 * GB,
+		CtxSwitchCost:  3 * sim.Microsecond,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Xeon builder drifted from the Section 4.2 machine:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		b    TopologyBuilder
+	}{
+		{"no sockets", TopologyBuilder{CoresPerSocket: 4}},
+		{"no cores", TopologyBuilder{Sockets: 2}},
+		{"negative L1", TopologyBuilder{Sockets: 1, CoresPerSocket: 1, L1KB: -1}},
+		{"negative bandwidth", TopologyBuilder{Sockets: 1, CoresPerSocket: 1, MemGBps: -4}},
+		{"negative latency", TopologyBuilder{Sockets: 1, CoresPerSocket: 1, MemNS: -80}},
+		{"inverted hierarchy", TopologyBuilder{Sockets: 1, CoresPerSocket: 1, L2KB: 16 * 1024, LLCMB: 1}},
+		{"negative ctx switch", TopologyBuilder{Sockets: 1, CoresPerSocket: 1, CtxSwitchUS: -3}},
+	}
+	for _, tc := range bad {
+		if _, err := tc.b.Build(); err == nil {
+			t.Errorf("%s: bad builder accepted", tc.name)
+		}
+	}
+	if err := (TopologyBuilder{Sockets: 2, CoresPerSocket: 16, LLCMB: 24}).Validate(); err != nil {
+		t.Errorf("good builder rejected: %v", err)
+	}
+}
+
+func TestBuilderFromJSON(t *testing.T) {
+	var b TopologyBuilder
+	blob := `{"sockets": 2, "cores_per_socket": 8, "llc_mb": 12, "llc_ways": 16, "mem_ns": 90, "mem_gbps": 14}`
+	if err := json.Unmarshal([]byte(blob), &b); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.TotalPCPUs() != 16 {
+		t.Errorf("TotalPCPUs = %d, want 16", topo.TotalPCPUs())
+	}
+	if topo.LLC.Size != 12*MB || topo.LLC.Ways != 16 {
+		t.Errorf("LLC %d B %d ways, want 12 MB 16 ways", topo.LLC.Size, topo.LLC.Ways)
+	}
+	if topo.MemLatencyNS != 90 || topo.MemBandwidth != 14*GB {
+		t.Errorf("memory system %d ns %d B/s", topo.MemLatencyNS, topo.MemBandwidth)
+	}
+	// Unspecified knobs fall back to calibration defaults.
+	if topo.L1.Size != 32*KB || topo.L2.Size != 256*KB {
+		t.Errorf("L1/L2 defaults lost: %d/%d", topo.L1.Size, topo.L2.Size)
+	}
+}
+
+func TestTopologyRegistry(t *testing.T) {
+	names := TopologyNames()
+	if len(names) < 2 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for _, want := range []string{"i7-3770", "xeon-e5-4603"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("paper machine %q not registered (have %v)", want, names)
+		}
+	}
+
+	i7, err := TopologyByName("i7-3770")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(i7, I73770()) {
+		t.Error("registry i7-3770 differs from I73770()")
+	}
+	// Lookups return fresh copies, never a shared value.
+	other, _ := TopologyByName("i7-3770")
+	if i7 == other {
+		t.Error("registry handed out the same *Topology twice")
+	}
+
+	if _, err := TopologyByName("pdp-11"); err == nil || !strings.Contains(err.Error(), "pdp-11") {
+		t.Errorf("unknown topology error = %v", err)
+	}
+}
+
+func TestRegisterTopologyGuards(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("empty name", func() { RegisterTopology("", I73770) })
+	expectPanic("nil factory", func() { RegisterTopology("x", nil) })
+	expectPanic("duplicate", func() { RegisterTopology("i7-3770", I73770) })
+}

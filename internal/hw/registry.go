@@ -1,0 +1,61 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The topology registry maps names to topology factories, so that every
+// layer above (scenario generation, sweep spec files, the catalog) can
+// reference machines by name. Factories — not shared *Topology values —
+// keep concurrent sweep runs free of shared mutable state.
+var (
+	topoMu sync.RWMutex
+	topos  = map[string]func() *Topology{}
+)
+
+// RegisterTopology adds a named topology factory. It panics on an empty
+// name or a duplicate registration — registries are populated from init
+// functions, where a collision is a programming error.
+func RegisterTopology(name string, f func() *Topology) {
+	if name == "" || f == nil {
+		panic("hw: RegisterTopology needs a name and a factory")
+	}
+	topoMu.Lock()
+	defer topoMu.Unlock()
+	if _, dup := topos[name]; dup {
+		panic(fmt.Sprintf("hw: topology %q registered twice", name))
+	}
+	topos[name] = f
+}
+
+// TopologyByName returns a fresh copy of the named topology.
+func TopologyByName(name string) (*Topology, error) {
+	topoMu.RLock()
+	f, ok := topos[name]
+	topoMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("hw: unknown topology %q (known: %v)", name, TopologyNames())
+	}
+	return f(), nil
+}
+
+// TopologyNames lists the registered topologies, sorted.
+func TopologyNames() []string {
+	topoMu.RLock()
+	defer topoMu.RUnlock()
+	out := make([]string, 0, len(topos))
+	for n := range topos {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The two concrete machines of the paper register themselves; everything
+// that used to hard-code I73770/XeonE54603 can reach them by name.
+func init() {
+	RegisterTopology("i7-3770", I73770)
+	RegisterTopology("xeon-e5-4603", XeonE54603)
+}

@@ -75,32 +75,24 @@ func (t *Topology) Validate() error {
 
 // I73770 returns the calibration machine from Table 2 of the paper:
 // one socket, 8 cores, 32 KB L1D, 256 KB L2, 8 MB 20-way LLC, 8 GB RAM.
+// Its parameters are the TopologyBuilder defaults; registered as
+// "i7-3770".
 func I73770() *Topology {
-	return &Topology{
-		Sockets:        1,
-		CoresPerSocket: 8,
-		L1:             CacheSpec{Size: 32 * KB, Ways: 8, LineSize: 64, LatencyNS: 1},
-		L2:             CacheSpec{Size: 256 * KB, Ways: 8, LineSize: 64, LatencyNS: 4},
-		LLC:            CacheSpec{Size: 8 * MB, Ways: 20, LineSize: 64, LatencyNS: 12, SharedLLC: true},
-		MemLatencyNS:   80,
-		MemBandwidth:   12 * GB,
-		CtxSwitchCost:  3 * sim.Microsecond,
-	}
+	return TopologyBuilder{Sockets: 1, CoresPerSocket: 8}.MustBuild()
 }
 
 // XeonE54603 returns the four-socket machine used in Section 4.2:
-// 4 sockets x 4 cores, 10 MB LLC per socket.
+// 4 sockets x 4 cores, 10 MB LLC per socket. Registered as
+// "xeon-e5-4603".
 func XeonE54603() *Topology {
-	return &Topology{
+	return TopologyBuilder{
 		Sockets:        4,
 		CoresPerSocket: 4,
-		L1:             CacheSpec{Size: 32 * KB, Ways: 8, LineSize: 64, LatencyNS: 1},
-		L2:             CacheSpec{Size: 256 * KB, Ways: 8, LineSize: 64, LatencyNS: 4},
-		LLC:            CacheSpec{Size: 10 * MB, Ways: 20, LineSize: 64, LatencyNS: 14, SharedLLC: true},
-		MemLatencyNS:   95,
-		MemBandwidth:   10 * GB,
-		CtxSwitchCost:  3 * sim.Microsecond,
-	}
+		LLCMB:          10,
+		LLCNS:          14,
+		MemNS:          95,
+		MemGBps:        10,
+	}.MustBuild()
 }
 
 // PCPUID identifies one physical CPU.

@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"aqlsched/internal/hw"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/vcputype"
+	"aqlsched/internal/workload"
+)
+
+// GenSpec describes a generated colocation scenario: a machine, a vCPU
+// budget, an over-subscription ratio and a type mix. Generate expands
+// it into a reproducible Spec — the population is a pure function of
+// the GenSpec (including its Seed), so every sweep run of the same axis
+// point deploys the identical VM set regardless of worker interleaving,
+// while the per-run simulation seed still varies across replications.
+type GenSpec struct {
+	// Name labels the generated scenario (the sweep axis name).
+	Name string
+	// Topo is the machine; nil defaults to the i7-3770.
+	Topo *hw.Topology
+	// VCPUs is the total guest vCPU budget to fill (≥ 1).
+	VCPUs int
+	// OverSub is the vCPU : guest-pCPU ratio (default 4, the paper's
+	// single-socket consolidation ratio). The generator provisions
+	// ceil(VCPUs/OverSub) guest pCPUs, capped at the machine size.
+	OverSub float64
+	// Mix weights the five vCPU types; weights need not sum to 1.
+	// Types absent from the map are never drawn.
+	Mix map[vcputype.Type]float64
+	// Fixed deploys these named applications first (one VM each);
+	// their vCPUs count against the budget. Synthetic VMs fill the
+	// remainder.
+	Fixed []workload.AppSpec
+	// Seed drives the generator's draws (types and app knobs). It is
+	// independent of the simulation seed the sweep assigns per run.
+	Seed uint64
+	// Gen bounds the per-type knob draws; the zero value means
+	// workload.DefaultGenConfig.
+	Gen *workload.GenConfig
+}
+
+// ParseMix converts a name → weight map (spec-file form) into a typed
+// mix, rejecting unknown type names and non-positive weights.
+func ParseMix(m map[string]float64) (map[vcputype.Type]float64, error) {
+	if len(m) == 0 {
+		return nil, fmt.Errorf("scenario: generator mix is missing (want e.g. {\"IOInt\": 0.25, \"LLCF\": 0.75})")
+	}
+	out := make(map[vcputype.Type]float64, len(m))
+	for name, w := range m {
+		t, err := vcputype.Parse(name)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: generator mix: %v", err)
+		}
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("scenario: generator mix: weight %v for %s must be positive and finite", w, name)
+		}
+		out[t] = w
+	}
+	return out, nil
+}
+
+// vcpusOf reports how many vCPUs one VM of the app consumes (its thread
+// count for lock applications, 1 otherwise — mirroring Deploy).
+func vcpusOf(s workload.AppSpec) int {
+	if s.Kind == workload.KindLock {
+		if s.Threads > 0 {
+			return s.Threads
+		}
+		return 4
+	}
+	return 1
+}
+
+// Validate reports an error for an unexpandable generator spec.
+func (g *GenSpec) Validate() error {
+	topo := g.Topo
+	if topo == nil {
+		topo = hw.I73770()
+	}
+	if err := topo.Validate(); err != nil {
+		return fmt.Errorf("scenario: generator %q: %v", g.Name, err)
+	}
+	if g.VCPUs < 1 {
+		return fmt.Errorf("scenario: generator %q: vCPU budget must be ≥ 1, got %d", g.Name, g.VCPUs)
+	}
+	if g.OverSub < 0 || math.IsNaN(g.OverSub) || math.IsInf(g.OverSub, 0) {
+		return fmt.Errorf("scenario: generator %q: over-subscription ratio %v must be positive", g.Name, g.OverSub)
+	}
+	if len(g.Mix) == 0 && len(g.Fixed) == 0 {
+		return fmt.Errorf("scenario: generator %q: mix is missing and no fixed apps given", g.Name)
+	}
+	for t, w := range g.Mix {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("scenario: generator %q: weight %v for %s must be positive and finite", g.Name, w, t)
+		}
+	}
+	fixed := 0
+	for _, f := range g.Fixed {
+		fixed += vcpusOf(f)
+	}
+	if fixed > g.VCPUs {
+		return fmt.Errorf("scenario: generator %q: fixed apps need %d vCPUs but the budget is %d", g.Name, fixed, g.VCPUs)
+	}
+	if fixed < g.VCPUs && len(g.Mix) == 0 {
+		return fmt.Errorf("scenario: generator %q: %d vCPUs left to fill but the mix is missing", g.Name, g.VCPUs-fixed)
+	}
+	return nil
+}
+
+// Generate expands the generator spec into a concrete scenario. The
+// result's Seed is the generator seed; sweeps override it per run.
+func (g *GenSpec) Generate() (Spec, error) {
+	if err := g.Validate(); err != nil {
+		return Spec{}, err
+	}
+	topo := g.Topo
+	if topo == nil {
+		topo = hw.I73770()
+	}
+	t := *topo // fresh copy per expansion: runs must not share state
+	topo = &t
+
+	oversub := g.OverSub
+	if oversub == 0 {
+		oversub = 4
+	}
+	pcpus := int(math.Ceil(float64(g.VCPUs) / oversub))
+	if pcpus < 1 {
+		pcpus = 1
+	}
+	if max := topo.TotalPCPUs(); pcpus > max {
+		pcpus = max
+	}
+	ids := make([]hw.PCPUID, pcpus)
+	for i := range ids {
+		ids[i] = hw.PCPUID(i)
+	}
+
+	cfg := workload.DefaultGenConfig()
+	if g.Gen != nil {
+		cfg = *g.Gen
+	}
+
+	// Cumulative weights in the taxonomy's fixed order — map iteration
+	// order must never leak into the draw sequence.
+	var types []vcputype.Type
+	var cum []float64
+	total := 0.0
+	for _, t := range vcputype.All() {
+		if w, ok := g.Mix[t]; ok {
+			total += w
+			types = append(types, t)
+			cum = append(cum, total)
+		}
+	}
+
+	var apps []Entry
+	budget := g.VCPUs
+	for _, f := range g.Fixed {
+		budget -= vcpusOf(f)
+		apps = append(apps, Entry{Spec: f, Count: 1})
+	}
+
+	rng := sim.NewRNG(g.Seed).Fork(0x5CE0)
+	for i := 0; budget > 0; i++ {
+		u := rng.Float64() * total
+		typ := types[len(types)-1]
+		for j, c := range cum {
+			if u < c {
+				typ = types[j]
+				break
+			}
+		}
+		s := cfg.Synthesize(rng.Fork(uint64(i)), typ, topo)
+		if s.Kind == workload.KindLock && s.Threads > budget {
+			// Clamp the last gang to the remaining budget.
+			s.Threads = budget
+		}
+		s.Name = fmt.Sprintf("%s-%02d", s.Name, i)
+		budget -= vcpusOf(s)
+		apps = append(apps, Entry{Spec: s, Count: 1})
+	}
+
+	name := g.Name
+	if name == "" {
+		name = fmt.Sprintf("gen-%dv", g.VCPUs)
+	}
+	return Spec{
+		Name:       name,
+		Topo:       topo,
+		GuestPCPUs: ids,
+		Apps:       apps,
+		Seed:       g.Seed,
+	}, nil
+}
+
+// MustGenerate is Generate for specs validated at parse time.
+func (g *GenSpec) MustGenerate() Spec {
+	s, err := g.Generate()
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}

@@ -1,148 +1,87 @@
 package sweep
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
-	"strings"
-	"time"
 
-	"aqlsched/internal/baselines"
-	"aqlsched/internal/core"
+	"aqlsched/internal/catalog"
+	"aqlsched/internal/hw"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
+	"aqlsched/internal/workload"
 )
 
-// --- Named axis points -----------------------------------------------------
+// --- Named axis points (thin catalog lookups) ------------------------------
 
-// ScenarioByName resolves a scenario axis point from the paper's
-// catalogue: S1–S5 (Table 4) or "four-socket" (Fig. 3 / Fig. 6 right).
+// ScenarioByName resolves a scenario axis point from the catalog:
+// S1–S5 (Table 4), "four-socket" (Fig. 3 / Fig. 6 right), and anything
+// registered since.
 func ScenarioByName(name string) (Scenario, error) {
-	if name == "four-socket" {
-		return Scenario{Name: name, New: func() scenario.Spec {
-			return scenario.FourSocket(0) // seed overridden per run
-		}}, nil
+	sc, err := catalog.ScenarioByName(name)
+	if err != nil {
+		return Scenario{}, err
 	}
-	for _, s := range scenario.Table4(0) {
-		if s.Name == name {
-			return Scenario{Name: name, New: func() scenario.Spec {
-				return scenario.ScenarioByName(name, 0)
-			}}, nil
-		}
-	}
-	return Scenario{}, fmt.Errorf("sweep: unknown scenario %q (want S1..S5 or four-socket)", name)
+	return Scenario(sc), nil
 }
+
+// PolicyByName resolves a policy axis point from the catalog grammar:
+// xen (or xen-credit), aql, vturbo, vslicer, microsliced,
+// fixed:<duration> (e.g. fixed:10ms) and aql-nocustom:<duration>.
+func PolicyByName(name string) (Policy, error) {
+	p, err := catalog.PolicyByName(name)
+	if err != nil {
+		return Policy{}, err
+	}
+	return Policy(p), nil
+}
+
+// The policy constructors remain exported for Go callers building
+// sweep.Spec values directly (the experiments package); each is the
+// catalog entry of the same name.
 
 // XenPolicy is the unmodified credit scheduler (the usual baseline).
-func XenPolicy() Policy {
-	return Policy{Name: baselines.XenDefault{}.Name(), New: func() scenario.Policy {
-		return baselines.XenDefault{}
-	}}
-}
+func XenPolicy() Policy { return Policy(catalog.XenPolicy()) }
 
 // AQLPolicy is the paper's system. Every run gets a fresh controller
 // output slot, retrievable via RunResult.Controller.
-func AQLPolicy() Policy {
-	return Policy{Name: baselines.AQL{}.Name(), New: func() scenario.Policy {
-		return baselines.AQL{Out: new(*core.Controller)}
-	}}
-}
+func AQLPolicy() Policy { return Policy(catalog.AQLPolicy()) }
 
 // AQLNoCustomPolicy is the Fig. 7 ablation: clustering stays active but
 // every pool runs the fixed quantum q.
-func AQLNoCustomPolicy(q sim.Time) Policy {
-	name := baselines.AQL{DisableCustomization: true, FixedQuantum: q}.Name()
-	return Policy{Name: name, New: func() scenario.Policy {
-		return baselines.AQL{DisableCustomization: true, FixedQuantum: q, Out: new(*core.Controller)}
-	}}
-}
+func AQLNoCustomPolicy(q sim.Time) Policy { return Policy(catalog.AQLNoCustomPolicy(q)) }
 
 // FixedPolicy runs every vCPU at quantum q in one pool.
-func FixedPolicy(q sim.Time) Policy {
-	name := baselines.FixedQuantum{Q: q}.Name()
-	return Policy{Name: name, New: func() scenario.Policy {
-		return baselines.FixedQuantum{Q: q}
-	}}
-}
+func FixedPolicy(q sim.Time) Policy { return Policy(catalog.FixedPolicy(q)) }
 
 // VTurboPolicy, VSlicerPolicy and MicroslicedPolicy are the related
 // systems of Fig. 8, manually configured as in the paper.
-func VTurboPolicy() Policy {
-	return Policy{Name: baselines.VTurbo{}.Name(), New: func() scenario.Policy {
-		return baselines.VTurbo{}
-	}}
-}
+func VTurboPolicy() Policy { return Policy(catalog.VTurboPolicy()) }
 
 // VSlicerPolicy differentiates IO-intensive slices on shared pools.
-func VSlicerPolicy() Policy {
-	return Policy{Name: baselines.VSlicer{}.Name(), New: func() scenario.Policy {
-		return baselines.VSlicer{}
-	}}
-}
+func VSlicerPolicy() Policy { return Policy(catalog.VSlicerPolicy()) }
 
 // MicroslicedPolicy shortens the quantum for every vCPU.
-func MicroslicedPolicy() Policy {
-	m := baselines.Microsliced()
-	return Policy{Name: m.Name(), New: func() scenario.Policy {
-		return baselines.Microsliced()
-	}}
-}
-
-// PolicyByName resolves a policy axis point. Recognized names: xen (or
-// xen-credit), aql, vturbo, vslicer, microsliced, fixed:<duration>
-// (e.g. fixed:10ms) and aql-nocustom:<duration>.
-func PolicyByName(name string) (Policy, error) {
-	if q, ok := strings.CutPrefix(name, "fixed:"); ok {
-		d, err := parseQuantum(q)
-		if err != nil {
-			return Policy{}, err
-		}
-		return FixedPolicy(d), nil
-	}
-	if q, ok := strings.CutPrefix(name, "aql-nocustom:"); ok {
-		d, err := parseQuantum(q)
-		if err != nil {
-			return Policy{}, err
-		}
-		return AQLNoCustomPolicy(d), nil
-	}
-	switch name {
-	case "xen", "xen-credit":
-		return XenPolicy(), nil
-	case "aql":
-		return AQLPolicy(), nil
-	case "vturbo":
-		return VTurboPolicy(), nil
-	case "vslicer":
-		return VSlicerPolicy(), nil
-	case "microsliced":
-		return MicroslicedPolicy(), nil
-	}
-	return Policy{}, fmt.Errorf("sweep: unknown policy %q (want xen, aql, vturbo, vslicer, microsliced, fixed:<dur>, aql-nocustom:<dur>)", name)
-}
-
-func parseQuantum(s string) (sim.Time, error) {
-	d, err := time.ParseDuration(s)
-	if err != nil {
-		return 0, fmt.Errorf("sweep: bad quantum %q: %v", s, err)
-	}
-	q := sim.Time(d / time.Microsecond)
-	if q <= 0 {
-		return 0, fmt.Errorf("sweep: quantum %q must be positive", s)
-	}
-	return q, nil
-}
+func MicroslicedPolicy() Policy { return Policy(catalog.MicroslicedPolicy()) }
 
 // --- Declarative spec files ------------------------------------------------
 
 // File is the JSON on-disk sweep specification consumed by aqlsweep.
-// Scenario and policy entries use the names understood by
-// ScenarioByName and PolicyByName.
+// Scenario entries are either catalog names ("S1", "four-socket"),
+// catalog names with a topology override ({"name": "S1", "topology":
+// "xeon-e5-4603"}), or inline generator blocks ({"gen": {...}}); see
+// ScenarioRef. Policy entries use the catalog grammar understood by
+// PolicyByName. Topology references resolve against the file's own
+// "topologies" section first, then the shared registry.
 type File struct {
-	Name      string   `json:"name"`
-	Scenarios []string `json:"scenarios"`
-	Policies  []string `json:"policies"`
+	Name string `json:"name"`
+	// Topologies defines machines inline, by builder parameters; their
+	// names are visible to this file's scenario entries only.
+	Topologies map[string]hw.TopologyBuilder `json:"topologies,omitempty"`
+	Scenarios  []ScenarioRef                 `json:"scenarios"`
+	Policies   []string                      `json:"policies"`
 	// Quanta, when set, appends one fixed:<q> policy per entry (a
 	// shorthand for quantum-length axes, e.g. ["1ms","10ms","90ms"]).
 	Quanta   []string `json:"quanta,omitempty"`
@@ -154,10 +93,80 @@ type File struct {
 	MeasureMS int64 `json:"measure_ms,omitempty"`
 }
 
-// Parse turns raw spec-file JSON into a runnable Spec.
+// ScenarioRef is one scenario-axis entry of a spec file. In JSON it is
+// either a bare catalog name ("S1") or an object:
+//
+//	{"name": "S1", "topology": "big-box"}   // catalog scenario, other machine
+//	{"gen": {"vcpus": 32, "mix": {...}}}    // generated colocation mix
+type ScenarioRef struct {
+	// Name references a catalog scenario.
+	Name string `json:"name,omitempty"`
+	// Topology moves the named scenario onto another machine (a
+	// file-local or registered topology). The scenario keeps its VM
+	// population but runs on all pCPUs of the new machine; the axis
+	// point is renamed "<name>@<topology>".
+	Topology string `json:"topology,omitempty"`
+	// Gen generates the scenario instead of naming one.
+	Gen *GenBlock `json:"gen,omitempty"`
+}
+
+// Ref wraps a catalog scenario name for Go-constructed Files.
+func Ref(name string) ScenarioRef { return ScenarioRef{Name: name} }
+
+func refs(names ...string) []ScenarioRef {
+	out := make([]ScenarioRef, len(names))
+	for i, n := range names {
+		out[i] = Ref(n)
+	}
+	return out
+}
+
+// UnmarshalJSON accepts both the bare-name and the object form. The
+// object form rejects unknown keys (custom unmarshalers do not inherit
+// the outer decoder's DisallowUnknownFields).
+func (r *ScenarioRef) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		return json.Unmarshal(data, &r.Name)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	type plain ScenarioRef // drop methods to avoid recursion
+	return dec.Decode((*plain)(r))
+}
+
+// GenBlock parameterizes a generated colocation scenario (see
+// scenario.GenSpec): a machine reference, a vCPU budget, an
+// over-subscription ratio and a type mix, optionally pinning named
+// catalog workloads into the population.
+type GenBlock struct {
+	// Name labels the axis point (default "gen<i>-<topology>-<vcpus>v").
+	Name string `json:"name,omitempty"`
+	// Topology names the machine (file-local or registered; default
+	// "i7-3770").
+	Topology string `json:"topology,omitempty"`
+	// VCPUs is the total guest vCPU budget (required, ≥ 1).
+	VCPUs int `json:"vcpus"`
+	// OverSub is the vCPU : guest-pCPU ratio (default 4).
+	OverSub float64 `json:"oversub,omitempty"`
+	// Mix weights the vCPU types by name ({"IOInt": 0.25, ...}).
+	// Required unless Apps alone fill the budget.
+	Mix map[string]float64 `json:"mix,omitempty"`
+	// Apps pins named catalog workloads into the population (one VM
+	// each, deployed first, counted against the budget).
+	Apps []string `json:"apps,omitempty"`
+	// Seed drives the generator draws (default: the file's base seed),
+	// independent of the per-run simulation seeds.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Parse turns raw spec-file JSON into a runnable Spec. Unknown keys are
+// rejected: a typo ("llcmb" for "llc_mb") must fail the load, not fall
+// back to a default and silently run a different experiment.
 func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
 	var f File
-	if err := json.Unmarshal(data, &f); err != nil {
+	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("sweep: bad spec file: %v", err)
 	}
 	return f.Spec()
@@ -170,6 +179,115 @@ func Load(path string) (*Spec, error) {
 		return nil, err
 	}
 	return Parse(data)
+}
+
+// topology resolves a machine reference: the file's inline topologies
+// shadow the shared registry.
+func (f *File) topology(name string) (*hw.Topology, error) {
+	if b, ok := f.Topologies[name]; ok {
+		t, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: inline topology %q: %v", name, err)
+		}
+		return t, nil
+	}
+	return catalog.TopologyByName(name)
+}
+
+// scenarioAxis resolves one scenario entry into an axis point.
+func (f *File) scenarioAxis(i int, r ScenarioRef) (Scenario, error) {
+	switch {
+	case r.Gen != nil:
+		if r.Name != "" {
+			return Scenario{}, fmt.Errorf("sweep: scenario entry %d sets both a name (%q) and a generator block", i, r.Name)
+		}
+		if r.Topology != "" {
+			return Scenario{}, fmt.Errorf("sweep: scenario entry %d: put the topology inside the generator block ({\"gen\": {\"topology\": %q, ...}})", i, r.Topology)
+		}
+		return f.genAxis(i, r.Gen)
+
+	case r.Name != "":
+		sc, err := ScenarioByName(r.Name)
+		if err != nil {
+			return Scenario{}, err
+		}
+		if r.Topology == "" {
+			return sc, nil
+		}
+		topo, err := f.topology(r.Topology)
+		if err != nil {
+			return Scenario{}, err
+		}
+		name := r.Name + "@" + r.Topology
+		inner := sc.New
+		return Scenario{Name: name, New: func() scenario.Spec {
+			s := inner()
+			t := *topo // fresh copy per run
+			s.Topo = &t
+			s.GuestPCPUs = nil // all pCPUs of the override machine
+			s.Name = name
+			return s
+		}}, nil
+
+	default:
+		return Scenario{}, fmt.Errorf("sweep: scenario entry %d names no scenario and has no generator block", i)
+	}
+}
+
+// genAxis expands a generator block into a scenario axis point. The
+// GenSpec is validated (and trially expanded) at parse time so a bad
+// block fails the load, not the run.
+func (f *File) genAxis(i int, g *GenBlock) (Scenario, error) {
+	topoName := g.Topology
+	if topoName == "" {
+		topoName = "i7-3770"
+	}
+	topo, err := f.topology(topoName)
+	if err != nil {
+		return Scenario{}, err
+	}
+
+	var fixed []workload.AppSpec
+	for _, name := range g.Apps {
+		app, err := catalog.WorkloadByName(name)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("sweep: generator scenario %d: %v", i, err)
+		}
+		fixed = append(fixed, app)
+	}
+
+	seed := g.Seed
+	if seed == 0 {
+		seed = f.BaseSeed
+	}
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+
+	name := g.Name
+	if name == "" {
+		name = fmt.Sprintf("gen%d-%s-%dv", i, topoName, g.VCPUs)
+	}
+
+	gs := scenario.GenSpec{
+		Name:    name,
+		Topo:    topo,
+		VCPUs:   g.VCPUs,
+		OverSub: g.OverSub,
+		Fixed:   fixed,
+		Seed:    seed,
+	}
+	if len(g.Mix) > 0 {
+		m, err := scenario.ParseMix(g.Mix)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("sweep: generator scenario %d: %v", i, err)
+		}
+		gs.Mix = m
+	}
+	if _, err := gs.Generate(); err != nil {
+		return Scenario{}, fmt.Errorf("sweep: generator scenario %d: %v", i, err)
+	}
+	return Scenario{Name: name, New: gs.MustGenerate}, nil
 }
 
 // Spec resolves the file's names into a runnable Spec.
@@ -185,8 +303,8 @@ func (f *File) Spec() (*Spec, error) {
 	if s.Name == "" {
 		s.Name = "sweep"
 	}
-	for _, name := range f.Scenarios {
-		sc, err := ScenarioByName(name)
+	for i, ref := range f.Scenarios {
+		sc, err := f.scenarioAxis(i, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -228,7 +346,7 @@ var builtins = map[string]func() *Spec{
 	"policy-grid": func() *Spec {
 		return mustFile(File{
 			Name:      "policy-grid",
-			Scenarios: []string{"S1", "S2", "S3", "S4", "S5"},
+			Scenarios: refs("S1", "S2", "S3", "S4", "S5"),
 			Policies:  []string{"xen", "aql"},
 			Baseline:  "xen-credit",
 			Seeds:     3,
@@ -237,7 +355,7 @@ var builtins = map[string]func() *Spec{
 	"fig8": func() *Spec {
 		return mustFile(File{
 			Name:      "fig8",
-			Scenarios: []string{"S5"},
+			Scenarios: refs("S5"),
 			Policies:  []string{"xen", "vturbo", "microsliced", "vslicer", "aql"},
 			Baseline:  "xen-credit",
 		})
@@ -245,7 +363,7 @@ var builtins = map[string]func() *Spec{
 	"quantum-grid": func() *Spec {
 		return mustFile(File{
 			Name:      "quantum-grid",
-			Scenarios: []string{"S1", "S2", "S3", "S4", "S5"},
+			Scenarios: refs("S1", "S2", "S3", "S4", "S5"),
 			Policies:  []string{"fixed:30ms"},
 			Quanta:    []string{"1ms", "10ms", "60ms", "90ms"},
 			Baseline:  "fixed:30ms",
@@ -255,7 +373,7 @@ var builtins = map[string]func() *Spec{
 	"four-socket": func() *Spec {
 		return mustFile(File{
 			Name:      "four-socket",
-			Scenarios: []string{"four-socket"},
+			Scenarios: refs("four-socket"),
 			Policies:  []string{"xen", "aql"},
 			Baseline:  "xen-credit",
 		})
@@ -263,7 +381,7 @@ var builtins = map[string]func() *Spec{
 	"baseline-grid": func() *Spec {
 		return mustFile(File{
 			Name:      "baseline-grid",
-			Scenarios: []string{"S1", "S2", "S3", "S4", "S5"},
+			Scenarios: refs("S1", "S2", "S3", "S4", "S5"),
 			Policies:  []string{"xen", "vturbo", "microsliced", "vslicer", "aql"},
 			Baseline:  "xen-credit",
 			Seeds:     3,
@@ -277,8 +395,36 @@ var builtins = map[string]func() *Spec{
 	"bench": func() *Spec {
 		return mustFile(File{
 			Name:      "bench",
-			Scenarios: []string{"S1", "S5"},
+			Scenarios: refs("S1", "S5"),
 			Policies:  []string{"xen", "microsliced", "aql"},
+			Baseline:  "xen-credit",
+			Seeds:     2,
+			WarmupMS:  400,
+			MeasureMS: 900,
+		})
+	},
+	// genmix demonstrates the generator end to end: a synthetic
+	// colocation mix on a generated two-socket machine. It must stay
+	// identical to the committed examples/specs/genmix.json (the CI
+	// smoke spec) so both spellings emit comparable artifacts — the
+	// sweep tests assert the equivalence.
+	"genmix": func() *Spec {
+		return mustFile(File{
+			Name: "genmix",
+			Topologies: map[string]hw.TopologyBuilder{
+				"dual-8": {Sockets: 2, CoresPerSocket: 8, LLCMB: 12, LLCWays: 16, MemNS: 90, MemGBps: 14},
+			},
+			Scenarios: []ScenarioRef{{Gen: &GenBlock{
+				Name:     "mix-balanced",
+				Topology: "dual-8",
+				VCPUs:    32,
+				OverSub:  4,
+				Mix: map[string]float64{
+					"IOInt": 0.25, "ConSpin": 0.25, "LLCF": 0.2, "LLCO": 0.15, "LoLCF": 0.15,
+				},
+				Apps: []string{"bzip2", "hmmer"},
+			}}},
+			Policies:  []string{"xen", "aql", "fixed:5ms"},
 			Baseline:  "xen-credit",
 			Seeds:     2,
 			WarmupMS:  400,

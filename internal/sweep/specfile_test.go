@@ -1,0 +1,244 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// genSpecJSON is a complete generated-scenario sweep defined purely in
+// JSON: an inline two-socket machine, a generated mix with pinned
+// catalog apps, and three policies.
+const genSpecJSON = `{
+	"name": "gen-quick",
+	"topologies": {
+		"dual-4": {"sockets": 2, "cores_per_socket": 4, "llc_mb": 6, "mem_gbps": 10}
+	},
+	"scenarios": [
+		{"gen": {
+			"name": "mix-a",
+			"topology": "dual-4",
+			"vcpus": 16,
+			"oversub": 4,
+			"mix": {"IOInt": 0.3, "ConSpin": 0.2, "LLCF": 0.25, "LLCO": 0.25},
+			"apps": ["bzip2"]
+		}}
+	],
+	"policies": ["xen", "aql"],
+	"baseline": "xen-credit",
+	"seeds": 2,
+	"warmup_ms": 300,
+	"measure_ms": 600
+}`
+
+func TestSpecFileGeneratorBlock(t *testing.T) {
+	spec, err := Parse([]byte(genSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Scenarios) != 1 || spec.Scenarios[0].Name != "mix-a" {
+		t.Fatalf("scenario axis %+v", spec.Scenarios)
+	}
+	s := spec.Scenarios[0].New()
+	if s.Topo.Sockets != 2 || s.Topo.CoresPerSocket != 4 {
+		t.Errorf("generated scenario machine %dx%d, want the inline dual-4", s.Topo.Sockets, s.Topo.CoresPerSocket)
+	}
+	if len(s.GuestPCPUs) != 4 {
+		t.Errorf("%d guest pCPUs, want 4 (16 vCPUs / oversub 4)", len(s.GuestPCPUs))
+	}
+	if s.Apps[0].Spec.Name != "bzip2" {
+		t.Errorf("pinned app missing: first app %q", s.Apps[0].Spec.Name)
+	}
+	// The axis constructor must re-expand to the identical population
+	// every time it is called (one call per sweep run).
+	if again := spec.Scenarios[0].New(); !reflect.DeepEqual(s, again) {
+		t.Error("generator axis point expands differently across calls")
+	}
+}
+
+// TestSpecFileGeneratedSweepDeterminism is the end-to-end acceptance
+// criterion: a generated-scenario sweep defined purely in JSON produces
+// byte-identical JSON/CSV artifacts for any -workers value.
+func TestSpecFileGeneratedSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	exec := func(workers int) (string, string) {
+		spec, err := Parse([]byte(genSpecJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Exec(spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() != 0 {
+			t.Fatalf("workers=%d: %d runs failed", workers, res.Failed())
+		}
+		var j, c bytes.Buffer
+		if err := res.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := exec(1)
+	j8, c8 := exec(8)
+	if j1 != j8 {
+		t.Error("generated sweep JSON differs between -workers 1 and 8")
+	}
+	if c1 != c8 {
+		t.Error("generated sweep CSV differs between -workers 1 and 8")
+	}
+}
+
+func TestSpecFileTopologyOverride(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"scenarios": [{"name": "S1", "topology": "xeon-e5-4603"}],
+		"policies": ["xen"]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := spec.Scenarios[0]
+	if sc.Name != "S1@xeon-e5-4603" {
+		t.Errorf("override axis name %q", sc.Name)
+	}
+	s := sc.New()
+	if s.Topo.Sockets != 4 {
+		t.Errorf("override machine has %d sockets, want 4", s.Topo.Sockets)
+	}
+	if s.GuestPCPUs != nil {
+		t.Errorf("override kept stale guest pCPUs %v", s.GuestPCPUs)
+	}
+	// The population is still S1's.
+	if len(s.Apps) == 0 || s.Apps[0].Spec.Name != "fluidanimate" {
+		t.Errorf("override lost the S1 population: %+v", s.Apps)
+	}
+	// Two runs must not share the topology value.
+	if a, b := sc.New(), sc.New(); a.Topo == b.Topo {
+		t.Error("override runs share one *hw.Topology")
+	}
+}
+
+// TestSpecFileErrorPaths: every malformed spec must fail the parse with
+// a useful error, never a panic at run time.
+func TestSpecFileErrorPaths(t *testing.T) {
+	cases := []struct {
+		name, json, wantErr string
+	}{
+		{"unknown scenario", `{"scenarios":["S9"],"policies":["xen"]}`, "S9"},
+		{"unknown policy", `{"scenarios":["S1"],"policies":["frob"]}`, "frob"},
+		{"unknown topology override", `{"scenarios":[{"name":"S1","topology":"cray-1"}],"policies":["xen"]}`, "cray-1"},
+		{"unknown gen topology", `{"scenarios":[{"gen":{"vcpus":8,"mix":{"LLCF":1},"topology":"cray-1"}}],"policies":["xen"]}`, "cray-1"},
+		{"missing mix", `{"scenarios":[{"gen":{"vcpus":8}}],"policies":["xen"]}`, "mix"},
+		{"bad mix type", `{"scenarios":[{"gen":{"vcpus":8,"mix":{"IOBound":1}}}],"policies":["xen"]}`, "IOBound"},
+		{"bad mix weight", `{"scenarios":[{"gen":{"vcpus":8,"mix":{"IOInt":-1}}}],"policies":["xen"]}`, "positive"},
+		{"zero vcpus", `{"scenarios":[{"gen":{"mix":{"IOInt":1}}}],"policies":["xen"]}`, "vCPU"},
+		{"unknown pinned app", `{"scenarios":[{"gen":{"vcpus":8,"mix":{"IOInt":1},"apps":["quake3"]}}],"policies":["xen"]}`, "quake3"},
+		{"empty scenario entry", `{"scenarios":[{}],"policies":["xen"]}`, "no generator"},
+		{"name plus gen", `{"scenarios":[{"name":"S1","gen":{"vcpus":8,"mix":{"IOInt":1}}}],"policies":["xen"]}`, "both"},
+		{"entry topology plus gen", `{"scenarios":[{"topology":"xeon-e5-4603","gen":{"vcpus":8,"mix":{"IOInt":1}}}],"policies":["xen"]}`, "inside the generator block"},
+		{"unknown top-level key", `{"scenarioz":["S1"],"policies":["xen"]}`, "scenarioz"},
+		{"typo in topology builder", `{"topologies":{"t":{"sockets":1,"cores_per_socket":4,"llcmb":24}},"scenarios":["S1"],"policies":["xen"]}`, "llcmb"},
+		{"typo in gen block", `{"scenarios":[{"gen":{"vcpus":8,"mix":{"IOInt":1},"over_sub":8}}],"policies":["xen"]}`, "over_sub"},
+		{"typo in scenario ref", `{"scenarios":[{"nam":"S1"}],"policies":["xen"]}`, "nam"},
+		{"bad inline topology", `{"topologies":{"t":{"sockets":0,"cores_per_socket":4}},"scenarios":[{"gen":{"vcpus":8,"mix":{"IOInt":1},"topology":"t"}}],"policies":["xen"]}`, "socket"},
+		{"fixed oversubscribed budget", `{"scenarios":[{"gen":{"vcpus":1,"mix":{"IOInt":1},"apps":["facesim"]}}],"policies":["xen"]}`, "budget"},
+	}
+	for _, tc := range cases {
+		_, err := Parse([]byte(tc.json))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestSpecFileGenSeedIndependence: the generator seed fixes the
+// population; the file's base seed only moves the simulation streams.
+func TestSpecFileGenSeeds(t *testing.T) {
+	parse := func(blob string) *Spec {
+		s, err := Parse([]byte(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	const a = `{"scenarios":[{"gen":{"vcpus":8,"mix":{"LLCF":1},"seed":7}}],"policies":["xen"]}`
+	const b = `{"scenarios":[{"gen":{"vcpus":8,"mix":{"LLCF":1},"seed":8}}],"policies":["xen"]}`
+	sa, sb := parse(a), parse(b)
+	if reflect.DeepEqual(sa.Scenarios[0].New().Apps, sb.Scenarios[0].New().Apps) {
+		t.Error("different generator seeds drew identical populations")
+	}
+	// Default generator seed follows base_seed.
+	const c = `{"base_seed":11,"scenarios":[{"gen":{"vcpus":8,"mix":{"LLCF":1}}}],"policies":["xen"]}`
+	const d = `{"base_seed":12,"scenarios":[{"gen":{"vcpus":8,"mix":{"LLCF":1}}}],"policies":["xen"]}`
+	sc, sd := parse(c), parse(d)
+	if reflect.DeepEqual(sc.Scenarios[0].New().Apps, sd.Scenarios[0].New().Apps) {
+		t.Error("base_seed change did not move the default generator seed")
+	}
+	// Default axis name is deterministic and descriptive.
+	if got := sc.Scenarios[0].Name; got != "gen0-i7-3770-8v" {
+		t.Errorf("default gen axis name %q", got)
+	}
+}
+
+func TestGenmixBuiltin(t *testing.T) {
+	s, ok := Builtin("genmix")
+	if !ok {
+		t.Fatal("genmix builtin missing")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc := s.Scenarios[0].New()
+	if sc.Topo.TotalPCPUs() != 16 {
+		t.Errorf("genmix machine has %d pCPUs, want 16", sc.Topo.TotalPCPUs())
+	}
+	if len(sc.GuestPCPUs) != 8 {
+		t.Errorf("genmix guest pCPUs %d, want 8 (32 vCPUs / oversub 4)", len(sc.GuestPCPUs))
+	}
+}
+
+// TestGenmixBuiltinMatchesExampleSpec: `aqlsweep -spec genmix` (the
+// builtin) and `-spec examples/specs/genmix.json` (the CI smoke file)
+// must define the same experiment, or the two spellings would emit
+// same-named artifacts with different populations.
+func TestGenmixBuiltinMatchesExampleSpec(t *testing.T) {
+	builtin, ok := Builtin("genmix")
+	if !ok {
+		t.Fatal("genmix builtin missing")
+	}
+	file, err := Load("../../examples/specs/genmix.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builtin.Name != file.Name || builtin.Baseline != file.Baseline ||
+		builtin.Seeds != file.Seeds || builtin.BaseSeed != file.BaseSeed ||
+		builtin.Warmup != file.Warmup || builtin.Measure != file.Measure {
+		t.Errorf("genmix builtin and example file disagree on sweep knobs:\nbuiltin %+v\nfile    %+v", builtin, file)
+	}
+	var bp, fp []string
+	for _, p := range builtin.Policies {
+		bp = append(bp, p.Name)
+	}
+	for _, p := range file.Policies {
+		fp = append(fp, p.Name)
+	}
+	if !reflect.DeepEqual(bp, fp) {
+		t.Errorf("policy axes differ: builtin %v, file %v", bp, fp)
+	}
+	if len(builtin.Scenarios) != 1 || len(file.Scenarios) != 1 {
+		t.Fatalf("axis sizes differ: %d vs %d", len(builtin.Scenarios), len(file.Scenarios))
+	}
+	if !reflect.DeepEqual(builtin.Scenarios[0].New(), file.Scenarios[0].New()) {
+		t.Error("genmix builtin and example file expand to different scenarios")
+	}
+}

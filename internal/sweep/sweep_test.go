@@ -18,7 +18,7 @@ func quickSpec(t *testing.T) *Spec {
 	t.Helper()
 	s, err := (&File{
 		Name:      "quick",
-		Scenarios: []string{"S2"},
+		Scenarios: refs("S2"),
 		Policies:  []string{"xen", "microsliced", "aql"},
 		Baseline:  "xen-credit",
 		Seeds:     2,
