@@ -1,65 +1,68 @@
-// Command aqlsim runs one of the paper's colocation scenarios under a
-// chosen scheduling policy and prints per-application performance and,
-// for AQL_Sched, the cluster layout it settled on.
+// Command aqlsim runs one catalog scenario under one catalog policy
+// and prints per-application performance, the AQL cluster layout (when
+// the policy recognizes types) and, for dynamic scenarios, the
+// adaptation diagnostics.
 //
-// Usage:
+// Scenario and policy names resolve through the internal/catalog
+// registries — the same grammar sweep spec files use (`aqlsweep -list`
+// prints every valid name):
 //
-//	aqlsim [-scenario S1..S5|four-socket] [-policy xen|aql|vturbo|vslicer|microsliced|fixed]
+//	aqlsim -scenario S1..S5|four-socket|dynphase -policy xen|aql|aql-w:<n>|vturbo|vslicer|microsliced|fixed:<dur>|aql-nocustom:<dur>
 //	       [-quantum 30ms] [-warmup 2s] [-measure 6s] [-seed N]
+//
+// `-policy fixed -quantum 5ms` is accepted as back-compat sugar for
+// `-policy fixed:5ms`.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
-	"aqlsched/internal/baselines"
-	"aqlsched/internal/core"
+	"aqlsched/internal/catalog"
 	"aqlsched/internal/report"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
 )
 
 func main() {
-	scen := flag.String("scenario", "S5", "scenario: S1..S5 or four-socket")
-	policy := flag.String("policy", "aql", "policy: xen, aql, vturbo, vslicer, microsliced, fixed")
-	quantum := flag.Duration("quantum", 30*time.Millisecond, "quantum for -policy fixed")
+	scen := flag.String("scenario", "S5", "catalog scenario name (aqlsweep -list prints them)")
+	policy := flag.String("policy", "aql", "catalog policy name or parameterized form (fixed:<dur>, aql-nocustom:<dur>, aql-w:<n>)")
+	quantum := flag.Duration("quantum", 30*time.Millisecond, "back-compat: with -policy fixed, shorthand for fixed:<quantum>")
 	warmup := flag.Duration("warmup", 2*time.Second, "warm-up window (simulated)")
 	measure := flag.Duration("measure", 6*time.Second, "measurement window (simulated)")
 	seed := flag.Uint64("seed", 0xA91, "simulation seed")
 	flag.Parse()
 
-	var spec scenario.Spec
-	if *scen == "four-socket" {
-		spec = scenario.FourSocket(*seed)
-	} else {
-		spec = scenario.ScenarioByName(*scen, *seed)
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "aqlsim: "+format+"\n", args...)
+		os.Exit(2)
 	}
+
+	sc, err := catalog.ScenarioByName(*scen)
+	if err != nil {
+		fail("unknown scenario %q (known: %s)", *scen, strings.Join(catalog.Scenarios.Names(), ", "))
+	}
+
+	polName := *policy
+	if polName == "fixed" {
+		// Pre-catalog spelling: -policy fixed -quantum 5ms.
+		polName = fmt.Sprintf("fixed:%s", *quantum)
+	}
+	p, err := catalog.PolicyByName(polName)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	spec := sc.New()
+	spec.Seed = *seed
 	spec.Warmup = sim.Time(warmup.Microseconds())
 	spec.Measure = sim.Time(measure.Microseconds())
 
-	var ctl *core.Controller
-	var pol scenario.Policy
-	switch *policy {
-	case "xen":
-		pol = baselines.XenDefault{}
-	case "aql":
-		pol = baselines.AQL{Out: &ctl}
-	case "vturbo":
-		pol = baselines.VTurbo{}
-	case "vslicer":
-		pol = baselines.VSlicer{}
-	case "microsliced":
-		pol = baselines.Microsliced()
-	case "fixed":
-		pol = baselines.FixedQuantum{Q: sim.Time(quantum.Microseconds())}
-	default:
-		log.Fatalf("unknown policy %q", *policy)
-	}
-
+	pol := p.New()
 	start := time.Now()
 	res := scenario.Run(spec, pol)
 
@@ -74,34 +77,57 @@ func main() {
 			t.AddRow(a.Name, a.Expected.String(), "throughput", fmt.Sprintf("%.1f jobs/s", a.Throughput))
 		}
 	}
-	t.AddNote("context switches: %d, preemptions: %d, wall time: %v",
-		res.CtxSwitches, res.Preemptions, time.Since(start).Round(time.Millisecond))
+	t.AddNote("context switches: %d, preemptions: %d, pool migrations: %d, wall time: %v",
+		res.CtxSwitches, res.Preemptions, res.PoolMigrations, time.Since(start).Round(time.Millisecond))
 	t.Render(os.Stdout)
 
-	if ctl != nil && ctl.LastPlan != nil {
-		ct := &report.Table{
-			Title:   "AQL_Sched cluster layout",
-			Headers: []string{"cluster", "quantum", "pCPUs", "members"},
-		}
-		for _, c := range ctl.LastPlan.Clusters {
-			byVariant := map[string]int{}
-			for _, m := range c.Members {
-				byVariant[m.Variant()]++
+	if cp, ok := pol.(scenario.ControllerProvider); ok {
+		if ctl := cp.AQLController(); ctl != nil && ctl.LastPlan != nil {
+			ct := &report.Table{
+				Title:   "AQL_Sched cluster layout",
+				Headers: []string{"cluster", "quantum", "pCPUs", "members"},
 			}
-			keys := make([]string, 0, len(byVariant))
-			for k := range byVariant {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			line := ""
-			for i, k := range keys {
-				if i > 0 {
-					line += ", "
+			for _, c := range ctl.LastPlan.Clusters {
+				byVariant := map[string]int{}
+				for _, m := range c.Members {
+					byVariant[m.Variant()]++
 				}
-				line += fmt.Sprintf("%d %s", byVariant[k], k)
+				keys := make([]string, 0, len(byVariant))
+				for k := range byVariant {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				line := ""
+				for i, k := range keys {
+					if i > 0 {
+						line += ", "
+					}
+					line += fmt.Sprintf("%d %s", byVariant[k], k)
+				}
+				ct.AddRow(c.Name, c.Quantum.String(), len(c.PCPUs), line)
 			}
-			ct.AddRow(c.Name, c.Quantum.String(), len(c.PCPUs), line)
+			ct.Render(os.Stdout)
 		}
-		ct.Render(os.Stdout)
+	}
+
+	if a := res.Adapt; a != nil {
+		at := &report.Table{
+			Title:   fmt.Sprintf("Adaptation (vTRS window n=%d)", a.Window),
+			Headers: []string{"VM", "flips", "recognized", "mean latency (periods)", "truth match"},
+		}
+		for _, vm := range a.PerVM {
+			if !vm.Dynamic {
+				continue
+			}
+			match := 0.0
+			if vm.Total > 0 {
+				match = float64(vm.Matched) / float64(vm.Total)
+			}
+			at.AddRow(vm.VM, vm.Flips, vm.RecognizedFlips,
+				fmt.Sprintf("%.2f", vm.MeanLatency()), fmt.Sprintf("%.0f%%", 100*match))
+		}
+		at.AddNote("overall: latency %.2f periods over %d/%d recognized flips; reclusters %d, migrations %d in the measure window",
+			a.MeanLatencyPeriods, a.RecognizedFlips, a.Flips, a.Reclusters, a.Migrations)
+		at.Render(os.Stdout)
 	}
 }

@@ -148,10 +148,14 @@ func printCatalog(w io.Writer) {
 	for _, n := range catalog.TopologyNames() {
 		t, err := catalog.TopologyByName(n)
 		if err != nil {
+			// A registered name that fails to build is a broken
+			// registration — surface it instead of silently hiding the
+			// entry from the listing.
+			fmt.Fprintf(w, "  %-16s BROKEN: %v\n", n, err)
 			continue
 		}
-		fmt.Fprintf(w, "  %-16s %d socket(s) x %d cores, %d MB LLC/socket\n",
-			n, t.Sockets, t.CoresPerSocket, t.LLC.Size/(1024*1024))
+		fmt.Fprintf(w, "  %-16s %d socket(s) x %d cores, %s LLC/socket\n",
+			n, t.Sockets, t.CoresPerSocket, fmtCacheSize(t.LLC.Size))
 	}
 
 	fmt.Fprintln(w, "\nscenarios (plus generated ones via {\"gen\": {...}} entries):")
@@ -171,6 +175,20 @@ func printCatalog(w io.Writer) {
 	}
 
 	fmt.Fprintln(w, "\nSee EXPERIMENTS.md \"Authoring custom scenarios\" for the spec-file schema.")
+}
+
+// fmtCacheSize renders a cache capacity adaptively: whole or
+// fractional MB above 1 MB, KB below it — a 512 KB LLC must not print
+// as "0 MB".
+func fmtCacheSize(bytes int64) string {
+	const mb = 1024 * 1024
+	if bytes >= mb {
+		if bytes%mb == 0 {
+			return fmt.Sprintf("%d MB", bytes/mb)
+		}
+		return fmt.Sprintf("%.1f MB", float64(bytes)/mb)
+	}
+	return fmt.Sprintf("%d KB", bytes/1024)
 }
 
 // startProfiling arms the requested profilers and returns an idempotent

@@ -14,6 +14,8 @@
 package baselines
 
 import (
+	"fmt"
+
 	"aqlsched/internal/core"
 	"aqlsched/internal/sim"
 	"aqlsched/internal/vcputype"
@@ -147,6 +149,10 @@ type AQL struct {
 	// MonitorOnly runs vTRS sampling without ever reconfiguring pools —
 	// the Section 4.3 overhead measurement.
 	MonitorOnly bool
+	// Window overrides the vTRS sliding-window length n (and, with it,
+	// the recluster cadence and grace period) — the reactivity-vs-churn
+	// knob of Section 3.3. Zero keeps the paper's n = 4.
+	Window int
 	// Out receives the controller for post-run inspection.
 	Out **core.Controller
 }
@@ -158,6 +164,8 @@ func (a AQL) Name() string {
 		return "aql-monitor-only"
 	case a.DisableCustomization:
 		return "aql-nocustom-" + a.FixedQuantum.String()
+	case a.Window > 0:
+		return fmt.Sprintf("aql-w%d", a.Window)
 	}
 	return "aql"
 }
@@ -169,6 +177,13 @@ func (a AQL) Setup(h *xen.Hypervisor, deps []*workload.Deployment) {
 		c.QuantumCustomization = false
 		c.FixedQuantum = a.FixedQuantum
 	}
+	if a.Window > 0 {
+		c.Monitor.Window = a.Window
+		c.ReclusterEvery = a.Window
+		c.GracePeriods = 2 * a.Window
+	}
+	// MonitorOnly wins over Window: a monitor-only run must never
+	// recluster, whatever window it samples with.
 	if a.MonitorOnly {
 		c.ReclusterEvery = 0
 	}
@@ -176,6 +191,16 @@ func (a AQL) Setup(h *xen.Hypervisor, deps []*workload.Deployment) {
 	if a.Out != nil {
 		*a.Out = c
 	}
+}
+
+// AQLController implements scenario.ControllerProvider: it exposes the
+// controller the last Setup produced, so the adaptation tracker can
+// read recognized types. Nil until Setup runs (or without an Out slot).
+func (a AQL) AQLController() *core.Controller {
+	if a.Out == nil {
+		return nil
+	}
+	return *a.Out
 }
 
 // ioVCPUs marks the vCPUs of IO-intensive deployments (manual

@@ -156,3 +156,37 @@ func TestParseQuantum(t *testing.T) {
 		}
 	}
 }
+
+func TestAQLWindowPolicyGrammar(t *testing.T) {
+	p, err := PolicyByName("aql-w:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "aql-w2" {
+		t.Errorf("policy name %q, want aql-w2", p.Name)
+	}
+	if p.New() == nil {
+		t.Error("nil policy instance")
+	}
+	for _, bad := range []string{"aql-w:", "aql-w:0", "aql-w:-3", "aql-w:x", "aql-w:999"} {
+		if _, err := PolicyByName(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestDynphaseScenarioRegistered(t *testing.T) {
+	sc, err := ScenarioByName("dynphase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sc.New()
+	if !spec.Dynamic() {
+		t.Error("dynphase catalog entry is not dynamic")
+	}
+	// Fresh state per lookup: two constructions must not share slices.
+	other := sc.New()
+	if &spec.Apps[0] == &other.Apps[0] {
+		t.Error("dynphase constructions share app state")
+	}
+}

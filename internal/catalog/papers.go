@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"aqlsched/internal/baselines"
@@ -26,6 +27,11 @@ func init() {
 	}
 	Scenarios.Register("four-socket", func() scenario.Spec {
 		return scenario.FourSocket(0)
+	})
+	// The dynamic-scenario catalogue entry: phased VMs whose type flips
+	// mid-run (the adaptation experiment's workload).
+	Scenarios.Register("dynphase", func() scenario.Spec {
+		return scenario.DynPhase(0)
 	})
 
 	// Workloads: the reference suite (SPECweb2009, SPECmail2009,
@@ -63,6 +69,13 @@ func init() {
 		}
 		return AQLNoCustomPolicy(q), nil
 	})
+	RegisterPolicyPrefix("aql-w:", "<periods>", func(arg string) (Policy, error) {
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 || n > 64 {
+			return Policy{}, fmt.Errorf("catalog: bad vTRS window %q: want an integer in [1, 64]", arg)
+		}
+		return AQLWindowPolicy(n), nil
+	})
 }
 
 // XenPolicy is the unmodified credit scheduler (the usual baseline).
@@ -77,6 +90,16 @@ func XenPolicy() Policy {
 func AQLPolicy() Policy {
 	return Policy{Name: baselines.AQL{}.Name(), New: func() scenario.Policy {
 		return baselines.AQL{Out: new(*core.Controller)}
+	}}
+}
+
+// AQLWindowPolicy is AQL with a non-default vTRS window n (recluster
+// cadence and grace period scale with it) — the reactivity-vs-churn
+// axis of the adaptation experiment.
+func AQLWindowPolicy(n int) Policy {
+	name := baselines.AQL{Window: n}.Name()
+	return Policy{Name: name, New: func() scenario.Policy {
+		return baselines.AQL{Window: n, Out: new(*core.Controller)}
 	}}
 }
 

@@ -102,6 +102,18 @@ func (s *Scheduler) AddVCPU(v *xen.VCPU, now sim.Time) {
 	s.vcpus = append(s.vcpus, v)
 }
 
+// RemoveVCPU implements xen.Scheduler: drop the vCPU from its runqueue
+// and the accounting list (VM teardown).
+func (s *Scheduler) RemoveVCPU(v *xen.VCPU, now sim.Time) {
+	s.dequeue(v)
+	for i, x := range s.vcpus {
+		if x == v {
+			s.vcpus = append(s.vcpus[:i], s.vcpus[i+1:]...)
+			break
+		}
+	}
+}
+
 // burnUpTo converts run time in (chargedUpTo, now] into burned credit.
 func (s *Scheduler) burnUpTo(v *xen.VCPU, now sim.Time) {
 	c := sd(v)

@@ -264,3 +264,45 @@ func TestStaticTablesRender(t *testing.T) {
 		}
 	}
 }
+
+// TestAdaptationLatencyGrowsWithWindow reproduces the paper's
+// Section 3.3 reactivity-vs-churn argument on moving workloads: the
+// recognition latency after a ground-truth type flip must grow
+// monotonically with the vTRS window n, while recluster/migration
+// churn shrinks. n = 1 reacts fastest but thrashes; n = 8 is calm but
+// slow — which is why the paper lands on n = 4.
+func TestAdaptationLatencyGrowsWithWindow(t *testing.T) {
+	res := Adaptation(QuickConfig())
+	if len(res.Rows) != len(AdaptationWindows) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(AdaptationWindows))
+	}
+	for i, row := range res.Rows {
+		if row.Latency <= 0 {
+			t.Fatalf("window %d: no recognition latency measured", row.Window)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := res.Rows[i-1]
+		if row.Latency < prev.Latency {
+			t.Errorf("recognition latency not monotone: n=%d -> %.2f periods, n=%d -> %.2f",
+				prev.Window, prev.Latency, row.Window, row.Latency)
+		}
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.Latency <= first.Latency {
+		t.Errorf("latency at n=%d (%.2f) not above n=%d (%.2f)",
+			last.Window, last.Latency, first.Window, first.Latency)
+	}
+	// The other side of the trade-off: the widest window must recluster
+	// and migrate less than the narrowest.
+	if last.Reclusters >= first.Reclusters {
+		t.Errorf("reclusters did not shrink with the window: n=%d -> %.1f, n=%d -> %.1f",
+			first.Window, first.Reclusters, last.Window, last.Reclusters)
+	}
+	if last.Migrations >= first.Migrations {
+		t.Errorf("migrations did not shrink with the window: n=%d -> %.1f, n=%d -> %.1f",
+			first.Window, first.Migrations, last.Window, last.Migrations)
+	}
+	res.Table() // must render
+}

@@ -74,6 +74,9 @@ func All(cfg Config, w io.Writer) {
 
 	Table6().Render(w)
 
+	ad := Adaptation(cfg)
+	ad.Table().Render(w)
+
 	ov := Overhead(cfg)
 	ov.Table().Render(w)
 }

@@ -67,6 +67,7 @@ type OS struct {
 	portOwner map[int]int
 
 	threads []*Thread
+	dead    bool
 }
 
 // NewOS builds a guest kernel with ncpu vCPUs.
@@ -92,22 +93,50 @@ func (os *OS) NumCPUs() int { return len(os.cpus) }
 func (os *OS) Threads() []*Thread { return os.threads }
 
 // Spawn creates a thread bound to the given vCPU and starts it at time
-// now. IRQ-class threads preempt normal threads on their vCPU.
+// now. IRQ-class threads preempt normal threads on their vCPU. On a
+// shut-down OS (a jittered spawn outliving its VM's teardown) the
+// thread is created dead and never scheduled.
 func (os *OS) Spawn(name string, cpu int, irq bool, prog Program, now sim.Time) *Thread {
 	if cpu < 0 || cpu >= len(os.cpus) {
 		panic(fmt.Sprintf("guest: Spawn on vCPU %d of %d", cpu, len(os.cpus)))
 	}
 	t := &Thread{Name: name, OS: os, CPU: cpu, IRQ: irq, prog: prog, state: Ready}
 	os.threads = append(os.threads, t)
+	if os.dead {
+		t.state = Dead
+		return t
+	}
 	os.advance(t, now)
 	return t
+}
+
+// Shutdown kills the guest (VM teardown): every thread dies, queues
+// and waiters are cleared, pending sleep timers are disarmed, and any
+// later event delivery or spawn becomes a no-op.
+func (os *OS) Shutdown() {
+	if os.dead {
+		return
+	}
+	os.dead = true
+	for _, t := range os.threads {
+		if t.wake != nil {
+			t.wake.Stop()
+		}
+		t.state = Dead
+		t.queued = false
+	}
+	for i := range os.cpus {
+		os.cpus[i] = cpuState{}
+	}
+	clear(os.ioWaiters)
+	clear(os.pending)
 }
 
 // enqueue puts a ready thread on its vCPU's queue and pokes the
 // hypervisor. A thread continuing within its guest slice (preferHead)
 // keeps the head of the queue.
 func (os *OS) enqueue(t *Thread, now sim.Time) {
-	if t.queued || t.state != Ready {
+	if os.dead || t.queued || t.state != Ready {
 		return
 	}
 	c := &os.cpus[t.CPU]
@@ -352,6 +381,9 @@ func (os *OS) BurstDone(t *Thread, ideal sim.Time, now sim.Time) {
 // or 0 when the port was never waited on). When no thread is currently
 // waiting, the event is queued and consumed by the next ActWaitIO.
 func (os *OS) DeliverIO(port int, now sim.Time) int {
+	if os.dead {
+		return 0
+	}
 	if t, ok := os.ioWaiters[port]; ok {
 		delete(os.ioWaiters, port)
 		// The wait action is complete: continue the program (this

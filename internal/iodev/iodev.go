@@ -75,6 +75,17 @@ func (s *Server) Take() sim.Time {
 // Pending reports queued, un-served arrivals.
 func (s *Server) Pending() int { return len(s.arrivals) - s.head }
 
+// DropPending discards queued, un-served arrivals (phase teardown: a
+// VM leaving its IO phase must not serve stale requests with inflated
+// latencies when the next IO phase starts). Returns the count dropped.
+func (s *Server) DropPending() int {
+	n := s.Pending()
+	s.arrivals = s.arrivals[:0]
+	s.head = 0
+	s.dropped += uint64(n)
+	return n
+}
+
 // Complete records a finished request that arrived at `arrived`.
 func (s *Server) Complete(arrived, now sim.Time) {
 	s.Lat.Record(now - arrived)
@@ -101,22 +112,28 @@ type PoissonSource struct {
 
 	issued  uint64
 	stopped bool
+	// inflight counts pending arrival events, so a Stop/Start cycle
+	// (phased VMs gate their source on the active phase) never stacks a
+	// second arrival chain on top of one still in the event queue.
+	inflight int
 }
 
 // NewPoissonSource builds a source issuing ratePerSec requests per
-// second on average.
+// second on average. The source is idle until Start.
 func NewPoissonSource(h *xen.Hypervisor, dom *xen.Domain, srv *Server, ratePerSec float64, rng *sim.RNG) *PoissonSource {
 	if ratePerSec <= 0 {
 		panic("iodev: non-positive request rate")
 	}
 	p := &PoissonSource{
-		h:    h,
-		dom:  dom,
-		srv:  srv,
-		mean: sim.Time(float64(sim.Second) / ratePerSec),
-		rng:  rng,
+		h:       h,
+		dom:     dom,
+		srv:     srv,
+		mean:    sim.Time(float64(sim.Second) / ratePerSec),
+		rng:     rng,
+		stopped: true,
 	}
 	p.arrivalFn = func(now sim.Time) {
+		p.inflight--
 		if p.stopped {
 			return
 		}
@@ -129,18 +146,27 @@ func NewPoissonSource(h *xen.Hypervisor, dom *xen.Domain, srv *Server, ratePerSe
 	return p
 }
 
-// Start begins issuing requests.
+// Start begins (or resumes) issuing requests. Idempotent: a running
+// source stays on a single arrival chain.
 func (p *PoissonSource) Start() {
-	p.scheduleNext()
+	if !p.stopped {
+		return
+	}
+	p.stopped = false
+	if p.inflight == 0 {
+		p.scheduleNext()
+	}
 }
 
-// Stop ceases issuing after the next pending arrival.
+// Stop ceases issuing after the next pending arrival. A later Start
+// resumes the chain.
 func (p *PoissonSource) Stop() { p.stopped = true }
 
 // Issued reports the number of requests issued so far.
 func (p *PoissonSource) Issued() uint64 { return p.issued }
 
 func (p *PoissonSource) scheduleNext() {
+	p.inflight++
 	p.h.Engine.After(p.rng.ExpTime(p.mean), p.arrivalFn)
 }
 

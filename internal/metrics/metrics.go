@@ -17,6 +17,11 @@ type Histogram struct {
 	samples []sim.Time
 	sum     sim.Time
 	max     sim.Time
+	// sorted caches the sorted view Percentile works on; it is rebuilt
+	// lazily after Record/Reset invalidate it, so percentile scans over
+	// a settled histogram stop re-sorting the full sample set per call.
+	sorted []sim.Time
+	dirty  bool
 }
 
 // NewHistogram returns an empty histogram.
@@ -29,6 +34,7 @@ func (h *Histogram) Record(d sim.Time) {
 	if d > h.max {
 		h.max = d
 	}
+	h.dirty = true
 }
 
 // Reset discards all samples (used to cut off warm-up).
@@ -36,6 +42,8 @@ func (h *Histogram) Reset() {
 	h.samples = h.samples[:0]
 	h.sum = 0
 	h.max = 0
+	h.sorted = h.sorted[:0]
+	h.dirty = false
 }
 
 // Count reports the number of samples.
@@ -52,7 +60,9 @@ func (h *Histogram) Mean() sim.Time {
 // Max reports the largest sample.
 func (h *Histogram) Max() sim.Time { return h.max }
 
-// Percentile reports the p-th percentile (0 < p <= 100).
+// Percentile reports the p-th percentile (0 < p <= 100),
+// nearest-rank. The sorted view is cached across calls and rebuilt
+// only after new samples arrive.
 func (h *Histogram) Percentile(p float64) sim.Time {
 	if len(h.samples) == 0 {
 		return 0
@@ -60,9 +70,12 @@ func (h *Histogram) Percentile(p float64) sim.Time {
 	if p <= 0 || p > 100 {
 		panic(fmt.Sprintf("metrics: percentile %v out of (0,100]", p))
 	}
-	cp := make([]sim.Time, len(h.samples))
-	copy(cp, h.samples)
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	if h.dirty || len(h.sorted) != len(h.samples) {
+		h.sorted = append(h.sorted[:0], h.samples...)
+		sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i] < h.sorted[j] })
+		h.dirty = false
+	}
+	cp := h.sorted
 	idx := int(p/100*float64(len(cp))+0.5) - 1
 	if idx < 0 {
 		idx = 0

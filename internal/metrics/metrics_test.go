@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -124,5 +125,65 @@ func TestHistogramInvariantsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestHistogramPercentileInterleavedWithRecord is the regression test
+// for the sorted-view cache: interleaving Record, Percentile and Reset
+// must always return nearest-rank-correct values, identical to a
+// freshly sorted copy.
+func TestHistogramPercentileInterleavedWithRecord(t *testing.T) {
+	naive := func(samples []sim.Time, p float64) sim.Time {
+		cp := append([]sim.Time(nil), samples...)
+		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		idx := int(p/100*float64(len(cp))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(cp) {
+			idx = len(cp) - 1
+		}
+		return cp[idx]
+	}
+
+	h := NewHistogram()
+	var shadow []sim.Time
+	rng := sim.NewRNG(42)
+	ps := []float64{1, 25, 50, 90, 95, 99, 100}
+	for i := 0; i < 500; i++ {
+		d := sim.Time(rng.Intn(10_000))
+		h.Record(d)
+		shadow = append(shadow, d)
+		// Query mid-stream every few records: the cache must be
+		// invalidated by the interleaved Record calls.
+		if i%7 == 0 {
+			for _, p := range ps {
+				if got, want := h.Percentile(p), naive(shadow, p); got != want {
+					t.Fatalf("after %d records: P%v = %v, want %v", i+1, p, got, want)
+				}
+			}
+		}
+		// Repeated queries on an unchanged histogram (cache-hit path).
+		if i%13 == 0 {
+			a := h.Percentile(95)
+			if b := h.Percentile(95); a != b {
+				t.Fatalf("repeated P95 changed without new samples: %v then %v", a, b)
+			}
+		}
+	}
+	// Reset invalidates too.
+	h.Reset()
+	shadow = shadow[:0]
+	if got := h.Percentile(50); got != 0 {
+		t.Errorf("P50 after reset = %v, want 0", got)
+	}
+	for _, d := range []sim.Time{5, 1, 9} {
+		h.Record(d)
+		shadow = append(shadow, d)
+	}
+	for _, p := range ps {
+		if got, want := h.Percentile(p), naive(shadow, p); got != want {
+			t.Errorf("post-reset P%v = %v, want %v", p, got, want)
+		}
 	}
 }

@@ -40,6 +40,49 @@ type GenSpec struct {
 	// Gen bounds the per-type knob draws; the zero value means
 	// workload.DefaultGenConfig.
 	Gen *workload.GenConfig
+
+	// Phases, when non-empty, defines a behaviour cycle (each entry's
+	// Dur and Type; the per-phase knobs are drawn per VM): generated
+	// VMs become phased applications with probability PhaseProb.
+	Phases []workload.AppPhase
+	// PhaseProb is the probability a generated VM is phased. The zero
+	// value means "unset" and defaults to 1 when Phases is set; to
+	// generate no phased VMs, leave Phases empty instead. (The
+	// spec-file layer distinguishes an explicit "phase_prob": 0 and
+	// drops the phases block accordingly.)
+	PhaseProb float64
+	// Churn, when set, adds VM arrival/departure events to the
+	// generated scenario. See ChurnSpec.
+	Churn *ChurnSpec
+}
+
+// ChurnSpec parameterizes generated VM churn: Poisson arrivals at Rate
+// per simulated second from Start until Horizon, each VM living an
+// exponential MeanLifetime (floored at MinLifetime) before teardown.
+// All draws fork from the generator seed, so the timeline is identical
+// across sweep workers and replications.
+type ChurnSpec struct {
+	// Rate is mean VM arrivals per simulated second (> 0).
+	Rate float64
+	// MeanLifetime is the mean VM lifetime (> 0).
+	MeanLifetime sim.Time
+	// MinLifetime floors drawn lifetimes (default 200 ms).
+	MinLifetime sim.Time
+	// Start is the earliest arrival time (default 50 ms).
+	Start sim.Time
+	// Horizon bounds arrivals: none at or after it (required, > Start).
+	Horizon sim.Time
+	// MaxVMs caps the number of arrivals (0 = unbounded).
+	MaxVMs int
+}
+
+// effectiveStart is Start with its default applied (Validate and
+// Generate must agree on it).
+func (c *ChurnSpec) effectiveStart() sim.Time {
+	if c.Start == 0 {
+		return 50 * sim.Millisecond
+	}
+	return c.Start
 }
 
 // ParseMix converts a name → weight map (spec-file form) into a typed
@@ -89,8 +132,8 @@ func (g *GenSpec) Validate() error {
 	if g.OverSub < 0 || math.IsNaN(g.OverSub) || math.IsInf(g.OverSub, 0) {
 		return fmt.Errorf("scenario: generator %q: over-subscription ratio %v must be positive", g.Name, g.OverSub)
 	}
-	if len(g.Mix) == 0 && len(g.Fixed) == 0 {
-		return fmt.Errorf("scenario: generator %q: mix is missing and no fixed apps given", g.Name)
+	if len(g.Mix) == 0 && len(g.Fixed) == 0 && len(g.Phases) == 0 {
+		return fmt.Errorf("scenario: generator %q: mix is missing and no fixed apps or phases given", g.Name)
 	}
 	for t, w := range g.Mix {
 		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
@@ -104,8 +147,36 @@ func (g *GenSpec) Validate() error {
 	if fixed > g.VCPUs {
 		return fmt.Errorf("scenario: generator %q: fixed apps need %d vCPUs but the budget is %d", g.Name, fixed, g.VCPUs)
 	}
-	if fixed < g.VCPUs && len(g.Mix) == 0 {
+	if fixed < g.VCPUs && len(g.Mix) == 0 && len(g.Phases) == 0 {
 		return fmt.Errorf("scenario: generator %q: %d vCPUs left to fill but the mix is missing", g.Name, g.VCPUs-fixed)
+	}
+	if len(g.Phases) > 0 {
+		if err := workload.ValidatePhaseDefs(g.Phases); err != nil {
+			return fmt.Errorf("scenario: generator %q: %v", g.Name, err)
+		}
+		if p := g.PhaseProb; p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("scenario: generator %q: phase probability %v must be in [0, 1]", g.Name, p)
+		}
+	}
+	if g.Churn != nil {
+		c := g.Churn
+		switch {
+		case c.Rate <= 0 || math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0):
+			return fmt.Errorf("scenario: generator %q: churn arrival rate %v must be positive and finite", g.Name, c.Rate)
+		case c.MeanLifetime <= 0:
+			return fmt.Errorf("scenario: generator %q: churn mean lifetime %v must be positive", g.Name, c.MeanLifetime)
+		case c.Horizon <= 0:
+			return fmt.Errorf("scenario: generator %q: churn horizon is required (no arrivals at or after it)", g.Name)
+		case c.Start < 0 || c.Horizon <= c.effectiveStart():
+			// Validate against the same default Start that Generate will
+			// apply, or a tiny horizon would pass here and silently
+			// produce a churn-free "churn" scenario.
+			return fmt.Errorf("scenario: generator %q: churn horizon %v must exceed start %v", g.Name, c.Horizon, c.effectiveStart())
+		case c.MinLifetime < 0 || c.MaxVMs < 0:
+			return fmt.Errorf("scenario: generator %q: churn min lifetime and max VMs must be non-negative", g.Name)
+		case len(g.Mix) == 0 && len(g.Phases) == 0:
+			return fmt.Errorf("scenario: generator %q: churn needs a mix or phases to draw VMs from", g.Name)
+		}
 	}
 	return nil
 }
@@ -164,17 +235,46 @@ func (g *GenSpec) Generate() (Spec, error) {
 		apps = append(apps, Entry{Spec: f, Count: 1})
 	}
 
-	rng := sim.NewRNG(g.Seed).Fork(0x5CE0)
-	for i := 0; budget > 0; i++ {
-		u := rng.Float64() * total
-		typ := types[len(types)-1]
-		for j, c := range cum {
-			if u < c {
-				typ = types[j]
-				break
+	phaseProb := g.PhaseProb
+	if len(g.Phases) > 0 && phaseProb == 0 {
+		phaseProb = 1
+	}
+	// drawApp synthesizes one VM: a phased app (per the phase-cycle
+	// definition and probability) or a static one of a mix-drawn type.
+	// Static GenSpecs (no Phases) consume the exact historical draw
+	// sequence, so existing generated scenarios stay byte-identical.
+	drawApp := func(rng *sim.RNG, label uint64) workload.AppSpec {
+		var typ vcputype.Type
+		if len(types) > 0 {
+			u := rng.Float64() * total
+			typ = types[len(types)-1]
+			for j, c := range cum {
+				if u < c {
+					typ = types[j]
+					break
+				}
 			}
 		}
-		s := cfg.Synthesize(rng.Fork(uint64(i)), typ, topo)
+		vrng := rng.Fork(label)
+		if len(g.Phases) > 0 && (len(types) == 0 || rng.Float64() < phaseProb) {
+			ph := cfg.SynthesizePhases(vrng, g.Phases, topo)
+			var cycle sim.Time
+			for _, p := range ph {
+				cycle += p.Dur
+			}
+			return workload.AppSpec{
+				Name:        "syn-phased",
+				Expected:    ph[0].Type,
+				Phases:      ph,
+				PhaseOffset: vrng.UniformTime(0, cycle),
+			}
+		}
+		return cfg.Synthesize(vrng, typ, topo)
+	}
+
+	rng := sim.NewRNG(g.Seed).Fork(0x5CE0)
+	for i := 0; budget > 0; i++ {
+		s := drawApp(rng, uint64(i))
 		if s.Kind == workload.KindLock && s.Threads > budget {
 			// Clamp the last gang to the remaining budget.
 			s.Threads = budget
@@ -182,6 +282,34 @@ func (g *GenSpec) Generate() (Spec, error) {
 		s.Name = fmt.Sprintf("%s-%02d", s.Name, i)
 		budget -= vcpusOf(s)
 		apps = append(apps, Entry{Spec: s, Count: 1})
+	}
+
+	// VM churn: a Poisson arrival process with exponential lifetimes,
+	// drawn from its own fork so adding churn never perturbs the
+	// standing population's draws.
+	var arrivals []Arrival
+	if g.Churn != nil {
+		c := *g.Churn
+		c.Start = c.effectiveStart()
+		if c.MinLifetime == 0 {
+			c.MinLifetime = 200 * sim.Millisecond
+		}
+		crng := sim.NewRNG(g.Seed).Fork(0xC4A2)
+		meanInter := sim.Time(float64(sim.Second) / c.Rate)
+		at := c.Start
+		for k := 0; c.MaxVMs == 0 || k < c.MaxVMs; k++ {
+			at += crng.ExpTime(meanInter)
+			if at >= c.Horizon {
+				break
+			}
+			s := drawApp(crng, uint64(k)+0x11)
+			s.Name = fmt.Sprintf("chn%02d-%s", k, s.Name)
+			life := crng.ExpTime(c.MeanLifetime)
+			if life < c.MinLifetime {
+				life = c.MinLifetime
+			}
+			arrivals = append(arrivals, Arrival{At: at, Spec: s, Lifetime: life})
+		}
 	}
 
 	name := g.Name
@@ -193,6 +321,7 @@ func (g *GenSpec) Generate() (Spec, error) {
 		Topo:       topo,
 		GuestPCPUs: ids,
 		Apps:       apps,
+		Arrivals:   arrivals,
 		Seed:       g.Seed,
 	}, nil
 }

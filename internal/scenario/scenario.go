@@ -41,6 +41,9 @@ type Spec struct {
 	// StartJitter staggers VM start times (default 120 ms — one full
 	// 4-vCPU rotation at the default quantum). Set negative to disable.
 	StartJitter sim.Time
+	// Arrivals schedules VM churn: applications deploying (and, with a
+	// Lifetime, departing) while the run is underway. See Arrival.
+	Arrivals []Arrival
 }
 
 // AppMeasure is the measured performance of one application (aggregated
@@ -81,6 +84,12 @@ type Result struct {
 	// Hypervisor diagnostics.
 	CtxSwitches uint64
 	Preemptions uint64
+	// PoolMigrations counts vCPU pool moves over the whole run.
+	PoolMigrations uint64
+	// Adapt carries the adaptation diagnostics of a dynamic run under a
+	// recognizing policy (nil otherwise): recognized-vs-truth time
+	// series, recognition latency, recluster and migration churn.
+	Adapt *Adaptation
 	// Hyp and Deps stay accessible for experiment-specific inspection.
 	Hyp  *xen.Hypervisor
 	Deps []*workload.Deployment
@@ -148,16 +157,59 @@ func Run(spec Spec, pol Policy) *Result {
 			deps = append(deps, workload.Deploy(h, s, inst, rng))
 		}
 	}
+
+	// VM churn: arrivals deploy (and, with a lifetime, depart) while
+	// the run is underway. Everything is scheduled up front so the
+	// whole lifecycle is a pure function of the spec and seed.
+	gone := map[*workload.Deployment]departInfo{}
+	for i, a := range spec.Arrivals {
+		a := a
+		inst := fmt.Sprintf("a%d", i+1)
+		at := a.At
+		if at <= 0 {
+			at = 1 // time-0 VMs belong in Apps; clamp instead of racing Setup
+		}
+		h.Engine.At(at, func(now sim.Time) {
+			d := workload.Deploy(h, a.Spec, inst, rng)
+			deps = append(deps, d)
+			if a.Lifetime > 0 {
+				h.Engine.At(now+a.Lifetime, func(end sim.Time) {
+					d.Stop()
+					gone[d] = departInfo{at: end, snap: d.Snapshot(end)}
+					h.DestroyDomain(d.Dom, end)
+				})
+			}
+		})
+	}
+
 	pol.Setup(h, deps)
+
+	// Adaptation diagnostics: dynamic scenario + a policy that exposes
+	// a vTRS (the AQL controller). Static runs take none of this path.
+	var tracker *adaptTracker
+	if spec.Dynamic() {
+		if cp, ok := pol.(ControllerProvider); ok {
+			if ctl := cp.AQLController(); ctl != nil && ctl.Monitor != nil {
+				tracker = newAdaptTracker(ctl, h, &deps, gone)
+				tracker.install()
+			}
+		}
+	}
 
 	h.Run(spec.Warmup)
 	type snap struct {
 		jobs metrics.JobSnapshot
 	}
-	snaps := make([]snap, len(deps))
-	for i, d := range deps {
+	snaps := map[*workload.Deployment]snap{}
+	for _, d := range deps {
+		if _, departed := gone[d]; departed {
+			continue
+		}
 		d.ResetLatencies()
-		snaps[i].jobs = d.Snapshot(h.Engine.Now())
+		snaps[d] = snap{jobs: d.Snapshot(h.Engine.Now())}
+	}
+	if tracker != nil {
+		tracker.markMeasureStart()
 	}
 	h.Run(spec.Warmup + spec.Measure)
 
@@ -167,14 +219,18 @@ func Run(spec Spec, pol Policy) *Result {
 	latSum := map[string]sim.Time{}
 	latN := map[string]int{}
 	res := &Result{
-		Spec:        spec,
-		Policy:      pol.Name(),
-		CtxSwitches: h.CtxSwitches,
-		Preemptions: h.Preemptions,
-		Hyp:         h,
-		Deps:        deps,
+		Spec:           spec,
+		Policy:         pol.Name(),
+		CtxSwitches:    h.CtxSwitches,
+		Preemptions:    h.Preemptions,
+		PoolMigrations: h.PoolMigrations,
+		Hyp:            h,
+		Deps:           deps,
 	}
-	for i, d := range deps {
+	if tracker != nil {
+		res.Adapt = tracker.finalize()
+	}
+	for _, d := range deps {
 		name := d.Spec.Name
 		m, ok := agg[name]
 		if !ok {
@@ -198,8 +254,18 @@ func Run(spec Spec, pol Policy) *Result {
 			}
 			vm.Latency = d.MeanLatency()
 		} else {
+			// Throughput windows: [measure start, run end] for VMs that
+			// lived through the window; churn VMs count from arrival
+			// and/or to departure.
+			start, ok := snaps[d]
+			if !ok {
+				start = snap{jobs: metrics.JobSnapshot{At: d.DeployedAt}}
+			}
 			end := d.Snapshot(h.Engine.Now())
-			rate := metrics.Rate(snaps[i].jobs, end)
+			if di, departed := gone[d]; departed {
+				end = di.snap
+			}
+			rate := metrics.Rate(start.jobs, end)
 			m.Throughput += rate
 			vm.Throughput = rate
 		}

@@ -65,11 +65,28 @@ type CellApp struct {
 	Norm *Stats `json:"norm,omitempty"`
 }
 
+// AdaptCell aggregates adaptation diagnostics across the replications
+// of one cell (dynamic scenarios under recognizing policies only).
+// Latency is in vTRS monitoring periods; Reclusters and Migrations
+// count measurement-window churn.
+type AdaptCell struct {
+	// Window is the vTRS window n the cell's policy ran with.
+	Window     int   `json:"window"`
+	Latency    Stats `json:"latency_periods"`
+	MatchFrac  Stats `json:"match_frac"`
+	Flips      Stats `json:"flips"`
+	Reclusters Stats `json:"reclusters"`
+	Migrations Stats `json:"migrations"`
+}
+
 // Cell is the aggregate of one scenario × policy coordinate.
 type Cell struct {
 	Scenario string    `json:"scenario"`
 	Policy   string    `json:"policy"`
 	Apps     []CellApp `json:"apps"`
+	// Adapt summarizes adaptation diagnostics when the cell's runs
+	// produced them (dynamic scenario + recognizing policy).
+	Adapt *AdaptCell `json:"adapt,omitempty"`
 	// Runs is how many replications succeeded.
 	Runs int `json:"runs"`
 }
@@ -97,6 +114,41 @@ func (r *Result) Norm(scenarioName, policyName, app string) float64 {
 	return 0
 }
 
+// aggregateAdapt folds the adaptation diagnostics of one cell's
+// replications into summary statistics; nil when no replication
+// produced any. Latency samples come only from runs that recognized at
+// least one flip (a mean over zero flips is undefined, not zero).
+func aggregateAdapt(spec *Spec, runAt func(si, pi, k int) *RunResult, si, pi, n int) *AdaptCell {
+	var lat, match, flips, recl, mig []float64
+	window := 0
+	for k := 0; k < n; k++ {
+		rr := runAt(si, pi, k)
+		if rr == nil || rr.Adapt == nil {
+			continue
+		}
+		a := rr.Adapt
+		window = a.Window
+		if a.RecognizedFlips > 0 {
+			lat = append(lat, a.MeanLatencyPeriods)
+		}
+		match = append(match, a.MatchedFrac)
+		flips = append(flips, float64(a.Flips))
+		recl = append(recl, float64(a.Reclusters))
+		mig = append(mig, float64(a.Migrations))
+	}
+	if len(match) == 0 {
+		return nil
+	}
+	return &AdaptCell{
+		Window:     window,
+		Latency:    NewStats(lat),
+		MatchFrac:  NewStats(match),
+		Flips:      NewStats(flips),
+		Reclusters: NewStats(recl),
+		Migrations: NewStats(mig),
+	}
+}
+
 // aggregate folds the run matrix into per-cell statistics, walking
 // cells in expansion order so the output is deterministic.
 func aggregate(spec *Spec, runs []RunResult) []Cell {
@@ -120,7 +172,9 @@ func aggregate(spec *Spec, runs []RunResult) []Cell {
 	var cells []Cell
 	for si := range spec.Scenarios {
 		for pi := range spec.Policies {
-			cell := Cell{Scenario: spec.Scenarios[si].Name, Policy: spec.Policies[pi].Name}
+			// Apps starts non-nil so an all-failed cell emits "apps": []
+			// rather than null in the JSON artifact.
+			cell := Cell{Scenario: spec.Scenarios[si].Name, Policy: spec.Policies[pi].Name, Apps: []CellApp{}}
 			// App order comes from the first successful replication
 			// (scenario.Run emits apps in deployment order, which is
 			// identical across replications of one scenario).
@@ -165,6 +219,7 @@ func aggregate(spec *Spec, runs []RunResult) []Cell {
 				}
 				cell.Apps = append(cell.Apps, ca)
 			}
+			cell.Adapt = aggregateAdapt(spec, runAt, si, pi, n)
 			cells = append(cells, cell)
 		}
 	}

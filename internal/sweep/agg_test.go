@@ -1,0 +1,171 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/workload"
+	"aqlsched/internal/xen"
+)
+
+// flakyPolicy panics on its first instantiation only — one failed
+// baseline replication in an otherwise healthy cell.
+type flakyPolicy struct{ fail bool }
+
+func (f *flakyPolicy) Name() string { return "flaky-base" }
+func (f *flakyPolicy) Setup(h *xen.Hypervisor, deps []*workload.Deployment) {
+	if f.fail {
+		panic("flaky baseline replication")
+	}
+}
+
+// assertNoNaN fails on any NaN/Inf leaking into an emitted artifact.
+func assertNoNaN(t *testing.T, label, s string) {
+	t.Helper()
+	for _, bad := range []string{"NaN", "Inf", "null"} {
+		if strings.Contains(s, bad) {
+			t.Errorf("%s artifact contains %q:\n%s", label, bad, s)
+		}
+	}
+}
+
+// TestAggregateSkipsFailedBaselineReplication: when one baseline
+// replication fails, the paired norm sample for that seed is skipped —
+// the remaining pairs still normalize, and no NaN/Inf reaches the
+// JSON/CSV artifacts.
+func TestAggregateSkipsFailedBaselineReplication(t *testing.T) {
+	calls := 0
+	spec, err := (&File{
+		Name:      "flaky",
+		Scenarios: refs("S2"),
+		Policies:  []string{"microsliced"},
+		Seeds:     2,
+		WarmupMS:  300,
+		MeasureMS: 500,
+	}).Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Policies = append([]Policy{{
+		Name: "flaky-base",
+		New: func() scenario.Policy {
+			calls++
+			return &flakyPolicy{fail: calls == 1}
+		},
+	}}, spec.Policies...)
+	spec.Baseline = "flaky-base"
+
+	// Workers must be 1 so "first instantiation" is the seed#0 baseline
+	// replication deterministically.
+	res, err := Exec(spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() != 1 {
+		t.Fatalf("%d failed runs, want exactly the one flaky baseline", res.Failed())
+	}
+
+	cell := res.Cell("S2", "microsliced")
+	if cell == nil || len(cell.Apps) == 0 {
+		t.Fatal("measured cell missing")
+	}
+	for _, a := range cell.Apps {
+		if a.Metric.N != 2 {
+			t.Errorf("%s metric has %d samples, want 2", a.App, a.Metric.N)
+		}
+		if a.Norm == nil {
+			t.Errorf("%s lost its norm entirely; only the failed pair should be skipped", a.App)
+		} else if a.Norm.N != 1 {
+			t.Errorf("%s norm has %d samples, want 1 (seed#0 pair skipped)", a.App, a.Norm.N)
+		}
+	}
+
+	var js, cs bytes.Buffer
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteCSV(&cs); err != nil {
+		t.Fatal(err)
+	}
+	assertNoNaN(t, "JSON", js.String())
+	assertNoNaN(t, "CSV", cs.String())
+}
+
+// TestAllReplicationsFailedCell: a cell with zero surviving
+// replications renders as FAILED in the CSV, an empty cell in JSON,
+// and a note in the table — never NaN.
+func TestAllReplicationsFailedCell(t *testing.T) {
+	spec, err := (&File{
+		Name:      "doomed",
+		Scenarios: refs("S2"),
+		Policies:  []string{"xen"},
+		Seeds:     2,
+		WarmupMS:  300,
+		MeasureMS: 500,
+	}).Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Policies = append(spec.Policies, Policy{
+		Name: "boom",
+		New:  func() scenario.Policy { return panicPolicy{} },
+	})
+	res, err := Exec(spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() != 2 {
+		t.Fatalf("%d failed runs, want 2", res.Failed())
+	}
+	cell := res.Cell("S2", "boom")
+	if cell == nil || cell.Runs != 0 || len(cell.Apps) != 0 || cell.Adapt != nil {
+		t.Errorf("dead cell not empty: %+v", cell)
+	}
+
+	var js, cs, tbl bytes.Buffer
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteCSV(&cs); err != nil {
+		t.Fatal(err)
+	}
+	res.Table().Render(&tbl)
+	if !strings.Contains(cs.String(), "S2,boom,,,FAILED") {
+		t.Error("FAILED marker missing from CSV")
+	}
+	if !strings.Contains(tbl.String(), "2 run(s) failed") {
+		t.Error("failure note missing from table")
+	}
+	assertNoNaN(t, "JSON", js.String())
+	assertNoNaN(t, "CSV", cs.String())
+}
+
+// TestNormAndCellAppNilPaths: the convenience accessors must be safe
+// on absent coordinates.
+func TestNormAndCellAppNilPaths(t *testing.T) {
+	res := &Result{}
+	if got := res.Norm("nope", "nada", "ghost"); got != 0 {
+		t.Errorf("Norm on empty result = %v, want 0", got)
+	}
+	if res.Cell("nope", "nada") != nil {
+		t.Error("Cell on empty result not nil")
+	}
+	var c *Cell
+	if c.App("ghost") != nil {
+		t.Error("App on nil cell not nil")
+	}
+	c = &Cell{Apps: []CellApp{{App: "real"}}}
+	if c.App("ghost") != nil {
+		t.Error("App finds a ghost")
+	}
+	if c.App("real") == nil {
+		t.Error("App misses a real app")
+	}
+	// A cell present but without norms: Norm degrades to 0.
+	res = &Result{Cells: []Cell{{Scenario: "s", Policy: "p", Apps: []CellApp{{App: "a"}}}}}
+	if got := res.Norm("s", "p", "a"); got != 0 {
+		t.Errorf("Norm without baseline = %v, want 0", got)
+	}
+}

@@ -49,13 +49,46 @@ func csvFloat(x float64) string {
 	return strconv.FormatFloat(x, 'g', -1, 64)
 }
 
-// WriteCSV emits one row per (scenario, policy, app) aggregate.
+// hasAdapt reports whether any cell carries adaptation diagnostics.
+func (r *Result) hasAdapt() bool {
+	for i := range r.Cells {
+		if r.Cells[i].Adapt != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// adaptCSV renders the per-cell adaptation columns ("" when absent).
+func adaptCSV(a *AdaptCell) []string {
+	if a == nil {
+		return []string{"", "", "", "", ""}
+	}
+	return []string{
+		strconv.Itoa(a.Window),
+		csvFloat(a.Latency.Mean),
+		csvFloat(a.MatchFrac.Mean),
+		csvFloat(a.Reclusters.Mean),
+		csvFloat(a.Migrations.Mean),
+	}
+}
+
+// WriteCSV emits one row per (scenario, policy, app) aggregate. Sweeps
+// whose cells carry adaptation diagnostics gain five extra columns;
+// static sweeps keep the historical header, so committed golden
+// artifacts stay byte-identical.
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
+	withAdapt := r.hasAdapt()
 	header := []string{
 		"scenario", "policy", "app", "type", "metric_kind",
 		"metric_mean", "metric_std", "metric_ci95", "metric_min", "metric_max",
 		"norm_mean", "norm_std", "norm_ci95", "runs",
+	}
+	if withAdapt {
+		header = append(header,
+			"vtrs_window", "adapt_latency_periods", "adapt_match_frac",
+			"reclusters_mean", "migrations_mean")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -66,6 +99,9 @@ func (r *Result) WriteCSV(w io.Writer) error {
 		if len(c.Apps) == 0 {
 			row := []string{c.Scenario, c.Policy, "", "", "FAILED",
 				"", "", "", "", "", "", "", "", strconv.Itoa(c.Runs)}
+			if withAdapt {
+				row = append(row, adaptCSV(c.Adapt)...)
+			}
 			if err := cw.Write(row); err != nil {
 				return err
 			}
@@ -87,6 +123,9 @@ func (r *Result) WriteCSV(w io.Writer) error {
 				row[10] = csvFloat(a.Norm.Mean)
 				row[11] = csvFloat(a.Norm.Std)
 				row[12] = csvFloat(a.Norm.CI95)
+			}
+			if withAdapt {
+				row = append(row, adaptCSV(c.Adapt)...)
 			}
 			if err := cw.Write(row); err != nil {
 				return err
@@ -120,6 +159,13 @@ func (r *Result) Table() *report.Table {
 	}
 	if r.Baseline != "" {
 		t.AddNote("norm = metric / %s metric, paired per seed replication; lower is better", r.Baseline)
+	}
+	for _, c := range r.Cells {
+		if a := c.Adapt; a != nil {
+			t.AddNote("adaptation %s/%s (vTRS n=%d): recognition latency %.2f periods (±%.2f), truth-match %.0f%%, reclusters %.1f, migrations %.1f per measure window",
+				c.Scenario, c.Policy, a.Window, a.Latency.Mean, a.Latency.CI95,
+				100*a.MatchFrac.Mean, a.Reclusters.Mean, a.Migrations.Mean)
+		}
 	}
 	if f := r.Failed(); f > 0 {
 		t.AddNote("%d run(s) failed and were excluded from aggregates", f)

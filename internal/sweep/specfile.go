@@ -11,6 +11,7 @@ import (
 	"aqlsched/internal/hw"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
+	"aqlsched/internal/vcputype"
 	"aqlsched/internal/workload"
 )
 
@@ -157,6 +158,35 @@ type GenBlock struct {
 	// Seed drives the generator draws (default: the file's base seed),
 	// independent of the per-run simulation seeds.
 	Seed uint64 `json:"seed,omitempty"`
+	// Phases defines a behaviour cycle: generated VMs become phased
+	// applications (their ground-truth type flips mid-run) with
+	// probability PhaseProb. See scenario.GenSpec.
+	Phases []PhaseBlock `json:"phases,omitempty"`
+	// PhaseProb is the probability a generated VM is phased (default 1
+	// when Phases is set).
+	PhaseProb *float64 `json:"phase_prob,omitempty"`
+	// Churn adds VM arrival/departure events to the scenario.
+	Churn *ChurnBlock `json:"churn,omitempty"`
+}
+
+// PhaseBlock is one leg of a generated phase cycle: the ground-truth
+// type and the phase length; per-phase behaviour knobs are drawn per
+// VM from the generator config.
+type PhaseBlock struct {
+	Type string `json:"type"`
+	MS   int64  `json:"ms"`
+}
+
+// ChurnBlock parameterizes generated VM churn (see scenario.ChurnSpec):
+// Poisson arrivals at RatePerSec from StartMS until HorizonMS, each VM
+// living an exponential MeanLifeMS (floored at MinLifeMS).
+type ChurnBlock struct {
+	RatePerSec float64 `json:"rate_per_sec"`
+	MeanLifeMS int64   `json:"mean_life_ms"`
+	MinLifeMS  int64   `json:"min_life_ms,omitempty"`
+	StartMS    int64   `json:"start_ms,omitempty"`
+	HorizonMS  int64   `json:"horizon_ms"`
+	MaxVMs     int     `json:"max_vms,omitempty"`
 }
 
 // Parse turns raw spec-file JSON into a runnable Spec. Unknown keys are
@@ -283,6 +313,39 @@ func (f *File) genAxis(i int, g *GenBlock) (Scenario, error) {
 			return Scenario{}, fmt.Errorf("sweep: generator scenario %d: %v", i, err)
 		}
 		gs.Mix = m
+	}
+	// An explicit "phase_prob": 0 means "no VM is phased" — honor it by
+	// dropping the phases block entirely (GenSpec treats PhaseProb 0 as
+	// "unset, default 1", so passing it through would invert the
+	// intent).
+	if g.PhaseProb == nil || *g.PhaseProb > 0 {
+		for j, ph := range g.Phases {
+			t, err := vcputype.Parse(ph.Type)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("sweep: generator scenario %d: phase %d: %v", i, j, err)
+			}
+			gs.Phases = append(gs.Phases, workload.AppPhase{
+				Type: t,
+				Dur:  sim.Time(ph.MS) * sim.Millisecond,
+			})
+		}
+	}
+	if g.PhaseProb != nil {
+		p := *g.PhaseProb
+		if p < 0 || p > 1 {
+			return Scenario{}, fmt.Errorf("sweep: generator scenario %d: phase_prob %v must be in [0, 1]", i, p)
+		}
+		gs.PhaseProb = p
+	}
+	if c := g.Churn; c != nil {
+		gs.Churn = &scenario.ChurnSpec{
+			Rate:         c.RatePerSec,
+			MeanLifetime: sim.Time(c.MeanLifeMS) * sim.Millisecond,
+			MinLifetime:  sim.Time(c.MinLifeMS) * sim.Millisecond,
+			Start:        sim.Time(c.StartMS) * sim.Millisecond,
+			Horizon:      sim.Time(c.HorizonMS) * sim.Millisecond,
+			MaxVMs:       c.MaxVMs,
+		}
 	}
 	if _, err := gs.Generate(); err != nil {
 		return Scenario{}, fmt.Errorf("sweep: generator scenario %d: %v", i, err)
@@ -423,6 +486,40 @@ var builtins = map[string]func() *Spec{
 					"IOInt": 0.25, "ConSpin": 0.25, "LLCF": 0.2, "LLCO": 0.15, "LoLCF": 0.15,
 				},
 				Apps: []string{"bzip2", "hmmer"},
+			}}},
+			Policies:  []string{"xen", "aql", "fixed:5ms"},
+			Baseline:  "xen-credit",
+			Seeds:     2,
+			WarmupMS:  400,
+			MeasureMS: 900,
+		})
+	},
+	// dynmix demonstrates the dynamic-scenario pipeline end to end: a
+	// generated population where half the VMs flip type mid-run and VM
+	// churn arrives throughout warmup and measurement. It must stay
+	// identical to the committed examples/specs/dynmix.json (the CI
+	// smoke spec) — the sweep tests assert the equivalence.
+	"dynmix": func() *Spec {
+		prob := 0.5
+		return mustFile(File{
+			Name: "dynmix",
+			Scenarios: []ScenarioRef{{Gen: &GenBlock{
+				Name:    "dyn-churn",
+				VCPUs:   12,
+				OverSub: 3,
+				Mix: map[string]float64{
+					"IOInt": 0.25, "LLCF": 0.35, "LoLCF": 0.25, "LLCO": 0.15,
+				},
+				Phases: []PhaseBlock{
+					{Type: "LoLCF", MS: 1000},
+					{Type: "LLCO", MS: 1000},
+				},
+				PhaseProb: &prob,
+				Churn: &ChurnBlock{
+					RatePerSec: 2,
+					MeanLifeMS: 700,
+					HorizonMS:  1100,
+				},
 			}}},
 			Policies:  []string{"xen", "aql", "fixed:5ms"},
 			Baseline:  "xen-credit",

@@ -242,3 +242,188 @@ func TestGenmixBuiltinMatchesExampleSpec(t *testing.T) {
 		t.Error("genmix builtin and example file expand to different scenarios")
 	}
 }
+
+// dynSpecJSON exercises the dynamic-scenario schema end to end: a
+// phased + churning generated population.
+const dynSpecJSON = `{
+	"name": "dyn-quick",
+	"scenarios": [
+		{"gen": {
+			"name": "dyn-a",
+			"vcpus": 8,
+			"oversub": 2,
+			"mix": {"IOInt": 0.5, "LoLCF": 0.5},
+			"phases": [
+				{"type": "LoLCF", "ms": 400},
+				{"type": "LLCO", "ms": 400}
+			],
+			"phase_prob": 0.5,
+			"churn": {"rate_per_sec": 3, "mean_life_ms": 500, "horizon_ms": 800, "max_vms": 3}
+		}}
+	],
+	"policies": ["xen", "aql"],
+	"baseline": "xen-credit",
+	"seeds": 2,
+	"warmup_ms": 300,
+	"measure_ms": 600
+}`
+
+func TestSpecFileDynamicBlocks(t *testing.T) {
+	spec, err := Parse([]byte(dynSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := spec.Scenarios[0].New()
+	if !sc.Dynamic() {
+		t.Fatal("spec-file scenario with phases+churn not dynamic")
+	}
+	if len(sc.Arrivals) == 0 || len(sc.Arrivals) > 3 {
+		t.Errorf("%d arrivals, want 1..3 (max_vms)", len(sc.Arrivals))
+	}
+	phased := 0
+	for _, e := range sc.Apps {
+		if len(e.Spec.Phases) > 0 {
+			phased++
+		}
+	}
+	if phased == 0 {
+		t.Error("no phased VMs generated at phase_prob 0.5")
+	}
+}
+
+func TestSpecFileDynamicErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"unknown phase type", `{"name":"x","scenarios":[{"gen":{"vcpus":4,"mix":{"LoLCF":1},
+			"phases":[{"type":"Bogus","ms":400},{"type":"LoLCF","ms":400}]}}],"policies":["xen"]}`},
+		{"single phase", `{"name":"x","scenarios":[{"gen":{"vcpus":4,"mix":{"LoLCF":1},
+			"phases":[{"type":"LoLCF","ms":400}]}}],"policies":["xen"]}`},
+		{"conspin phase", `{"name":"x","scenarios":[{"gen":{"vcpus":4,"mix":{"LoLCF":1},
+			"phases":[{"type":"ConSpin","ms":400},{"type":"LoLCF","ms":400}]}}],"policies":["xen"]}`},
+		{"churn without horizon", `{"name":"x","scenarios":[{"gen":{"vcpus":4,"mix":{"LoLCF":1},
+			"churn":{"rate_per_sec":2,"mean_life_ms":500}}}],"policies":["xen"]}`},
+		{"churn unknown key", `{"name":"x","scenarios":[{"gen":{"vcpus":4,"mix":{"LoLCF":1},
+			"churn":{"rate_per_sec":2,"mean_life_ms":500,"horizon_ms":800,"oops":1}}}],"policies":["xen"]}`},
+		{"negative phase ms", `{"name":"x","scenarios":[{"gen":{"vcpus":4,"mix":{"LoLCF":1},
+			"phases":[{"type":"LoLCF","ms":-5},{"type":"LLCO","ms":400}]}}],"policies":["xen"]}`},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.json)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestSweepDynamicDeterminism extends the subsystem's core guarantee
+// to churn + phased scenarios: bit-identical JSON and CSV artifacts at
+// any worker count, adaptation aggregates included.
+func TestSweepDynamicDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the dynmix grid twice; skipped in -short")
+	}
+	spec1, ok := Builtin("dynmix")
+	if !ok {
+		t.Fatal("dynmix builtin missing")
+	}
+	spec4, _ := Builtin("dynmix")
+	emit := func(spec *Spec, workers int) (string, string) {
+		res, err := Exec(spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() != 0 {
+			t.Fatalf("%d failed runs at workers=%d", res.Failed(), workers)
+		}
+		var js, cs bytes.Buffer
+		if err := res.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&cs); err != nil {
+			t.Fatal(err)
+		}
+		return js.String(), cs.String()
+	}
+	j1, c1 := emit(spec1, 1)
+	j4, c4 := emit(spec4, 4)
+	if j1 != j4 {
+		t.Error("dynmix JSON differs between workers=1 and workers=4")
+	}
+	if c1 != c4 {
+		t.Error("dynmix CSV differs between workers=1 and workers=4")
+	}
+	// The dynamic sweep must actually emit adaptation data for the
+	// recognizing policy, with the extended CSV header.
+	if !strings.Contains(c1, "adapt_latency_periods") {
+		t.Error("adaptation columns missing from dynamic CSV")
+	}
+	if !strings.Contains(j1, `"adapt"`) {
+		t.Error("adaptation aggregate missing from dynamic JSON")
+	}
+}
+
+// TestDynmixBuiltinMatchesExampleSpec mirrors the genmix equivalence
+// guarantee for the dynamic example spec.
+func TestDynmixBuiltinMatchesExampleSpec(t *testing.T) {
+	builtin, ok := Builtin("dynmix")
+	if !ok {
+		t.Fatal("dynmix builtin missing")
+	}
+	file, err := Load("../../examples/specs/dynmix.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builtin.Name != file.Name || builtin.Baseline != file.Baseline ||
+		builtin.Seeds != file.Seeds || builtin.BaseSeed != file.BaseSeed ||
+		builtin.Warmup != file.Warmup || builtin.Measure != file.Measure {
+		t.Errorf("dynmix builtin and example file disagree on sweep knobs")
+	}
+	var bp, fp []string
+	for _, p := range builtin.Policies {
+		bp = append(bp, p.Name)
+	}
+	for _, p := range file.Policies {
+		fp = append(fp, p.Name)
+	}
+	if !reflect.DeepEqual(bp, fp) {
+		t.Errorf("policy axes differ: builtin %v, file %v", bp, fp)
+	}
+	if len(builtin.Scenarios) != 1 || len(file.Scenarios) != 1 {
+		t.Fatalf("axis sizes differ: %d vs %d", len(builtin.Scenarios), len(file.Scenarios))
+	}
+	b, f := builtin.Scenarios[0].New(), file.Scenarios[0].New()
+	if !reflect.DeepEqual(b, f) {
+		t.Error("dynmix builtin and example file expand to different scenarios")
+	}
+	if !b.Dynamic() || len(b.Arrivals) == 0 {
+		t.Error("dynmix scenario is not dynamic (no churn expanded)")
+	}
+}
+
+// TestSpecFileExplicitPhaseProbZero: "phase_prob": 0 must mean "no
+// phased VMs", not silently default to 1.
+func TestSpecFileExplicitPhaseProbZero(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"name": "p0",
+		"scenarios": [{"gen": {"vcpus": 4, "mix": {"LoLCF": 1},
+			"phases": [{"type": "LoLCF", "ms": 400}, {"type": "LLCO", "ms": 400}],
+			"phase_prob": 0}}],
+		"policies": ["xen"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range spec.Scenarios[0].New().Apps {
+		if len(e.Spec.Phases) > 0 {
+			t.Fatalf("VM %s is phased despite phase_prob 0", e.Spec.Name)
+		}
+	}
+	if _, err := Parse([]byte(`{
+		"name": "p2",
+		"scenarios": [{"gen": {"vcpus": 4, "mix": {"LoLCF": 1},
+			"phases": [{"type": "LoLCF", "ms": 400}, {"type": "LLCO", "ms": 400}],
+			"phase_prob": 1.5}}],
+		"policies": ["xen"]}`)); err == nil {
+		t.Error("phase_prob 1.5 accepted")
+	}
+}

@@ -178,6 +178,10 @@ type RunResult struct {
 	PerVM       []scenario.AppMeasure
 	CtxSwitches uint64
 	Preemptions uint64
+	// Adapt carries the adaptation diagnostics of a dynamic run under a
+	// recognizing policy (nil otherwise): per-VM recognized-vs-truth
+	// series, recognition latency, recluster/migration churn.
+	Adapt *scenario.Adaptation
 	// Instance is the exact policy value used by this run.
 	Instance scenario.Policy
 	Raw      *scenario.Result
@@ -351,6 +355,7 @@ func execOne(spec *Spec, run Run, keepRaw bool) (rr RunResult) {
 	rr.PerVM = res.PerVM
 	rr.CtxSwitches = res.CtxSwitches
 	rr.Preemptions = res.Preemptions
+	rr.Adapt = res.Adapt
 	rr.Instance = pol
 	if keepRaw {
 		rr.Raw = res

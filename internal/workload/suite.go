@@ -71,23 +71,38 @@ type AppSpec struct {
 	// jitter, equal-length slices on different pCPUs rotate in perfect
 	// synchrony and lock-holder preemption artificially disappears.
 	StartJitter sim.Time
+
+	// Phases, when non-empty, makes the application dynamic: a
+	// single-vCPU VM whose behaviour cycles through the phases forever
+	// (Kind is ignored). See AppPhase and PhasedProgram.
+	Phases []AppPhase
+	// PhaseOffset shifts the VM into its phase cycle, so colocated
+	// phased VMs need not flip in lockstep.
+	PhaseOffset sim.Time
 }
 
 // Deployment is a running instance of an AppSpec inside one VM.
 type Deployment struct {
-	Spec    AppSpec
-	Dom     *xen.Domain
-	Threads []*guest.Thread
+	Spec AppSpec
+	// DeployedAt is when Deploy ran — the origin of the VM's phase
+	// clock and of churn throughput windows.
+	DeployedAt sim.Time
+	Dom        *xen.Domain
+	Threads    []*guest.Thread
 	// Workers lists the threads whose Jobs define the app's throughput
 	// metric (excludes background/ballast threads).
 	Workers []*guest.Thread
 	Servers []*iodev.Server
 	Locks   []*guest.SpinLock
 
-	sources []starter
+	sources []source
+	stops   []func()
 }
 
-type starter interface{ Start() }
+type source interface {
+	Start()
+	Stop()
+}
 
 // Deploy creates a VM for spec and installs its threads, devices and
 // load sources. Threads and sources start within spec.StartJitter of
@@ -97,8 +112,8 @@ func Deploy(h *xen.Hypervisor, spec AppSpec, instance string, rng *sim.RNG) *Dep
 	if instance != "" {
 		name = fmt.Sprintf("%s-%s", spec.Name, instance)
 	}
-	d := &Deployment{Spec: spec}
-	jrng := rng.Fork(uint64(len(h.Domains)) + 101)
+	d := &Deployment{Spec: spec, DeployedAt: h.Engine.Now()}
+	jrng := rng.Fork(uint64(h.DomainsEverCreated()) + 101)
 	delay := func() sim.Time {
 		if spec.StartJitter <= 0 {
 			return 0
@@ -121,6 +136,13 @@ func Deploy(h *xen.Hypervisor, spec AppSpec, instance string, rng *sim.RNG) *Dep
 		h.Engine.After(dd, func(now sim.Time) {
 			add(dom.OS.Spawn(tname, cpu, irq, prog, now))
 		})
+	}
+	if len(spec.Phases) > 0 {
+		if err := ValidatePhases(spec.Phases); err != nil {
+			panic(err.Error())
+		}
+		deployPhased(h, spec, name, d, rng)
+		return d
 	}
 	switch spec.Kind {
 	case KindCPU:
@@ -177,7 +199,7 @@ func Deploy(h *xen.Hypervisor, spec AppSpec, instance string, rng *sim.RNG) *Dep
 			cgi.JobSleep = 0 // CGI load never idles: the vCPU must stay heterogeneous
 			spawn(name+".cgi", 0, false, false, cgi)
 		}
-		src := iodev.NewPoissonSource(h, d.Dom, srv, spec.Rate, rng.Fork(uint64(len(h.Domains))))
+		src := iodev.NewPoissonSource(h, d.Dom, srv, spec.Rate, rng.Fork(uint64(h.DomainsEverCreated())))
 		d.sources = append(d.sources, src)
 		h.Engine.After(delay(), func(sim.Time) { src.Start() })
 
@@ -191,7 +213,7 @@ func Deploy(h *xen.Hypervisor, spec AppSpec, instance string, rng *sim.RNG) *Dep
 			idx.JobSleep = 0
 			spawn(name+".index", 0, false, false, idx)
 		}
-		src := iodev.NewClosedLoopSource(h, d.Dom, srv, spec.Clients, spec.Think, rng.Fork(uint64(len(h.Domains))))
+		src := iodev.NewClosedLoopSource(h, d.Dom, srv, spec.Clients, spec.Think, rng.Fork(uint64(h.DomainsEverCreated())))
 		d.sources = append(d.sources, src)
 		h.Engine.After(delay(), func(sim.Time) { src.Start() })
 
@@ -243,9 +265,26 @@ func (d *Deployment) MeanLatency() sim.Time {
 }
 
 // IsLatencyApp reports whether the deployment's performance metric is
-// latency (true) or throughput (false).
+// latency (true) or throughput (false). Phased applications always
+// report throughput: their job counter (compute jobs + served
+// requests) is well-defined across behaviour flips, mean latency over
+// intermittent IO phases is not.
 func (d *Deployment) IsLatencyApp() bool {
+	if len(d.Spec.Phases) > 0 {
+		return false
+	}
 	return d.Spec.Kind == KindWeb || d.Spec.Kind == KindMail
+}
+
+// Stop quiesces the deployment's load sources (VM teardown): no new
+// requests are issued; in-flight work settles through the normal paths.
+func (d *Deployment) Stop() {
+	for _, s := range d.sources {
+		s.Stop()
+	}
+	for _, f := range d.stops {
+		f()
+	}
 }
 
 // --- Calibration micro-benchmarks (Table 1) ------------------------------

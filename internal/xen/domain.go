@@ -69,6 +69,7 @@ type VCPU struct {
 	runnableSince sim.Time
 	burst         *burst
 	everRan       bool
+	destroyed     bool
 
 	// RunTime accumulates total time spent Running (fairness checks).
 	RunTime sim.Time
@@ -76,6 +77,9 @@ type VCPU struct {
 
 // State reports the vCPU's scheduling state.
 func (v *VCPU) State() VCPUState { return v.state }
+
+// Destroyed reports whether the vCPU's domain has been torn down.
+func (v *VCPU) Destroyed() bool { return v.destroyed }
 
 // Pool reports the CPU pool the vCPU belongs to.
 func (v *VCPU) Pool() *CPUPool { return v.pool }
@@ -113,8 +117,12 @@ type Domain struct {
 	OS    *guest.OS
 	VCPUs []*VCPU
 
-	hyp *Hypervisor
+	hyp  *Hypervisor
+	dead bool
 }
+
+// Dead reports whether the domain has been destroyed.
+func (d *Domain) Dead() bool { return d.dead }
 
 // WakeVCPU implements guest.Waker: a thread became runnable on cpu.
 func (d *Domain) WakeVCPU(cpu int, now sim.Time) {

@@ -65,6 +65,11 @@ type Hypervisor struct {
 	CtxSwitches uint64
 	// Preemptions counts slice-cut events (BOOST/kick/reconfigure).
 	Preemptions uint64
+	// PoolMigrations counts vCPUs moved between pools by ApplyPlan —
+	// the migration-churn half of the paper's reactivity trade-off
+	// (Section 3.3: a short vTRS window reacts faster but reclusters,
+	// and therefore migrates, more).
+	PoolMigrations uint64
 }
 
 // Option configures a Hypervisor.
@@ -124,6 +129,14 @@ func (h *Hypervisor) RunningOn(p hw.PCPUID) *VCPU { return h.running[p] }
 // AllVCPUs lists every guest vCPU in creation order. The slice is
 // maintained incrementally by CreateDomain; callers must not mutate it.
 func (h *Hypervisor) AllVCPUs() []*VCPU { return h.allVCPUs }
+
+// DomainsEverCreated reports how many domains were ever created.
+// Unlike len(Domains) it never decreases on teardown, so it is the
+// correct label space for per-VM RNG forks: two churn VMs deployed
+// around a departure must not receive identical random streams.
+// Without teardown it equals len(Domains), which keeps the historical
+// fork labels (and therefore every static scenario) byte-identical.
+func (h *Hypervisor) DomainsEverCreated() int { return h.nextDomID }
 
 // getBurst pops a recycled burst from the free-list (or allocates the
 // first time a new depth of in-flight bursts is reached).
@@ -186,6 +199,52 @@ func (h *Hypervisor) CreateDomain(name string, weight, cap, ncpu int) *Domain {
 	return d
 }
 
+// DestroyDomain tears a VM down (churn departure): the guest OS shuts
+// down, every vCPU leaves its pCPU/runqueue, and the domain disappears
+// from Domains/AllVCPUs so monitoring, clustering and credit
+// accounting stop seeing it. In-flight bursts are settled through the
+// normal preemption path, so cache state and counters stay exact.
+// Idempotent; freed pCPUs are immediately rescheduled.
+func (h *Hypervisor) DestroyDomain(d *Domain, now sim.Time) {
+	if d.dead {
+		return
+	}
+	d.dead = true
+	d.OS.Shutdown()
+	for _, v := range d.VCPUs {
+		switch v.state {
+		case Running:
+			p := v.pcpu
+			h.stopRunning(v, now)
+			v.state = Blocked
+			h.Sched.RemoveVCPU(v, now)
+			v.destroyed = true
+			h.TryRun(p, now)
+		case Runnable:
+			h.Sched.RemoveVCPU(v, now)
+			v.state = Blocked
+			v.destroyed = true
+		case Blocked:
+			h.Sched.RemoveVCPU(v, now)
+			v.destroyed = true
+		}
+		v.endBurst.Stop()
+	}
+	for i, x := range h.Domains {
+		if x == d {
+			h.Domains = append(h.Domains[:i], h.Domains[i+1:]...)
+			break
+		}
+	}
+	live := h.allVCPUs[:0]
+	for _, v := range h.allVCPUs {
+		if !v.destroyed {
+			live = append(live, v)
+		}
+	}
+	h.allVCPUs = live
+}
+
 // NotifyIO injects one event-channel notification for (dom, port),
 // modelling the split-driver upcall path: the event counter of the
 // target vCPU advances and the guest wakes the waiting handler thread.
@@ -200,7 +259,7 @@ func (h *Hypervisor) NotifyIO(d *Domain, port int, now sim.Time) {
 
 // wake transitions a blocked vCPU to runnable.
 func (h *Hypervisor) wake(v *VCPU, now sim.Time) {
-	if v.state != Blocked {
+	if v.destroyed || v.state != Blocked {
 		return
 	}
 	v.state = Runnable
@@ -497,6 +556,7 @@ func (h *Hypervisor) ApplyPlan(pp *PoolPlan, now sim.Time) error {
 			if v.pool == newPool {
 				continue
 			}
+			h.PoolMigrations++
 			v.pool = newPool
 			switch v.state {
 			case Running:

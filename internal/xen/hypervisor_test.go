@@ -19,6 +19,14 @@ type fifoSched struct {
 func (s *fifoSched) Name() string            { return "fifo" }
 func (s *fifoSched) Attach(h *Hypervisor)    { s.h = h }
 func (s *fifoSched) AddVCPU(*VCPU, sim.Time) {}
+func (s *fifoSched) RemoveVCPU(v *VCPU, now sim.Time) {
+	for i, x := range s.q {
+		if x == v {
+			s.q = append(s.q[:i], s.q[i+1:]...)
+			return
+		}
+	}
+}
 func (s *fifoSched) Wake(v *VCPU, now sim.Time) {
 	s.q = append(s.q, v)
 	for _, p := range v.Pool().PCPUs() {

@@ -35,6 +35,10 @@ type Scheduler interface {
 	Attach(h *Hypervisor)
 	// AddVCPU registers a new vCPU (initially blocked).
 	AddVCPU(v *VCPU, now sim.Time)
+	// RemoveVCPU unregisters a vCPU whose domain is being destroyed:
+	// the scheduler drops it from its queues and accounting. The
+	// hypervisor has already taken it off any pCPU.
+	RemoveVCPU(v *VCPU, now sim.Time)
 	// Wake transitions a blocked vCPU to runnable: the scheduler
 	// enqueues it and may start idle pCPUs or preempt running ones
 	// (subject to RateLimit).
