@@ -23,10 +23,30 @@ import (
 	"time"
 
 	"aqlsched/internal/catalog"
+	"aqlsched/internal/metrics"
 	"aqlsched/internal/report"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
 )
+
+// fmtMetric renders one registry metric value with its unit; "us"
+// durations use the simulator's adaptive time formatting.
+func fmtMetric(name string, v float64) string {
+	d, ok := metrics.DescByName(name)
+	if !ok {
+		return fmt.Sprintf("%.4g", v)
+	}
+	switch d.Unit {
+	case "us":
+		return sim.Time(v).String()
+	case "s":
+		return fmt.Sprintf("%.4g s", v)
+	case "index", "frac":
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.4g %s", v, d.Unit)
+	}
+}
 
 func main() {
 	scen := flag.String("scenario", "S5", "catalog scenario name (aqlsweep -list prints them)")
@@ -71,10 +91,13 @@ func main() {
 		Headers: []string{"application", "type", "metric", "value"},
 	}
 	for _, a := range res.Apps {
-		if a.IsLatency {
-			t.AddRow(a.Name, a.Expected.String(), "mean latency", a.Latency.String())
-		} else {
-			t.AddRow(a.Name, a.Expected.String(), "throughput", fmt.Sprintf("%.1f jobs/s", a.Throughput))
+		if a.Metrics.Len() == 0 {
+			t.AddRow(a.Name, a.Expected.String(), "-", "measurement failed")
+			continue
+		}
+		for _, name := range a.Metrics.Names() {
+			v, _ := a.Metrics.Get(name)
+			t.AddRow(a.Name, a.Expected.String(), name, fmtMetric(name, v))
 		}
 	}
 	t.AddNote("context switches: %d, preemptions: %d, pool migrations: %d, wall time: %v",

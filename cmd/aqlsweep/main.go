@@ -52,14 +52,16 @@ import (
 
 func main() {
 	var (
-		specArg = flag.String("spec", "", "sweep spec: JSON file path or built-in name (see -list)")
-		list    = flag.Bool("list", false, "list the catalog (topologies, scenarios, workloads, policies) and built-in sweeps, then exit")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		out     = flag.String("out", "", "output directory for <name>.json/.csv/.txt artifacts")
-		seeds   = flag.Int("seeds", 0, "override seed replications per cell")
-		seed    = flag.Uint64("seed", 0, "override the base simulation seed")
-		quick   = flag.Bool("quick", false, "quick windows (1s warmup, 2.5s measure)")
-		quiet   = flag.Bool("q", false, "suppress per-run progress on stderr")
+		specArg     = flag.String("spec", "", "sweep spec: JSON file path or built-in name (see -list)")
+		list        = flag.Bool("list", false, "list the catalog (topologies, scenarios, workloads, policies) and built-in sweeps, then exit")
+		listMetrics = flag.Bool("list-metrics", false, "list the metric registry (name, unit, direction, aggregation, scope), then exit")
+		metricsSel  = flag.String("metrics", "", "comma-separated metric names to emit (default: all; see -list-metrics)")
+		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		out         = flag.String("out", "", "output directory for <name>.json/.csv/.txt artifacts")
+		seeds       = flag.Int("seeds", 0, "override seed replications per cell")
+		seed        = flag.Uint64("seed", 0, "override the base simulation seed")
+		quick       = flag.Bool("quick", false, "quick windows (1s warmup, 2.5s measure)")
+		quiet       = flag.Bool("q", false, "suppress per-run progress on stderr")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile (after the sweep) to this file")
@@ -70,6 +72,17 @@ func main() {
 	if *list {
 		printCatalog(os.Stdout)
 		return
+	}
+	if *listMetrics {
+		printMetrics(os.Stdout)
+		return
+	}
+	// Validate the metric selection before the sweep runs: a typo must
+	// fail in milliseconds, not after minutes of simulation.
+	selection, err := parseMetricSelection(*metricsSel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aqlsweep: %v\n", err)
+		os.Exit(2)
 	}
 	if *specArg == "" {
 		fmt.Fprintln(os.Stderr, "aqlsweep: -spec is required (file path or built-in name; -list shows built-ins)")
@@ -124,6 +137,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "aqlsweep: completed %d runs in %v\n", runs, time.Since(start).Round(time.Millisecond))
 
+	if len(selection) > 0 {
+		if err := res.SelectMetrics(selection...); err != nil {
+			fmt.Fprintf(os.Stderr, "aqlsweep: %v\n", err)
+			stopProfiling()
+			os.Exit(2)
+		}
+	}
 	res.Table().Render(os.Stdout)
 
 	if *out != "" {
@@ -174,7 +194,48 @@ func printCatalog(w io.Writer) {
 			n, len(s.Scenarios), len(s.Policies), max(s.Seeds, 1))
 	}
 
+	fmt.Fprintln(w, "\nmetrics: -list-metrics prints the measurement registry; -metrics name,... selects emitted columns.")
 	fmt.Fprintln(w, "\nSee EXPERIMENTS.md \"Authoring custom scenarios\" for the spec-file schema.")
+}
+
+// printMetrics lists the measurement registry: every metric the
+// scenario layer can record, in registration order (the column order
+// of emitted artifacts).
+func printMetrics(w io.Writer) {
+	fmt.Fprintln(w, "metrics (registration order = artifact column order; select with -metrics name,name,...):")
+	fmt.Fprintf(w, "  %-22s %-8s %-9s %-11s %-8s %s\n", "NAME", "UNIT", "DIRECTION", "AGGREGATION", "SCOPE", "DESCRIPTION")
+	for _, d := range catalog.MetricDescs() {
+		name := d.Name
+		if d.Primary {
+			name += "*"
+		}
+		fmt.Fprintf(w, "  %-22s %-8s %-9s %-11s %-8s %s\n",
+			name, d.Unit, d.Direction.String(), d.Agg.String(), d.Scope.String(), d.Help)
+	}
+	fmt.Fprintln(w, "\n* primary performance metric (the value baseline normalization pairs)")
+}
+
+// parseMetricSelection splits and validates a -metrics argument
+// against the registry before any simulation runs.
+func parseMetricSelection(arg string) ([]string, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var names []string
+	for _, n := range strings.Split(arg, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, err := catalog.MetricByName(n); err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-metrics %q selects nothing", arg)
+	}
+	return names, nil
 }
 
 // fmtCacheSize renders a cache capacity adaptively: whole or

@@ -31,7 +31,8 @@ func main() {
 			Seed:    7,
 		}
 		res := scenario.Run(spec, baselines.FixedQuantum{Q: q})
-		return res.Apps[0].Latency
+		lat, _ := res.Apps[0].Metrics.Get(scenario.MLatencyMean.Name)
+		return sim.Time(lat)
 	}
 
 	lat30 := run(30 * sim.Millisecond)

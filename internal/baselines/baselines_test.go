@@ -48,12 +48,13 @@ func TestPoliciesRunS5(t *testing.T) {
 				if a.Name != wantOrder[i] {
 					t.Errorf("app %d is %q, want %q (deployment order)", i, a.Name, wantOrder[i])
 				}
-				m := a.Metric()
-				if math.IsNaN(m) || math.IsInf(m, 0) || m <= 0 {
-					t.Errorf("%s: metric %v, want finite and positive", a.Name, m)
+				m, ok := a.Perf()
+				if !ok || math.IsNaN(m) || math.IsInf(m, 0) || m <= 0 {
+					t.Errorf("%s: metric %v (ok=%v), want finite and positive", a.Name, m, ok)
 				}
-				if a.IsLatency != (a.Name == "SPECweb2009") {
-					t.Errorf("%s: IsLatency=%v, want latency metric only for the web app", a.Name, a.IsLatency)
+				d, _, _ := a.Metrics.Primary()
+				if isLat := d.Name == scenario.MLatencyMean.Name; isLat != (a.Name == "SPECweb2009") {
+					t.Errorf("%s: primary metric %q, want latency metric only for the web app", a.Name, d.Name)
 				}
 				if a.Instances <= 0 {
 					t.Errorf("%s: %d instances", a.Name, a.Instances)
@@ -81,9 +82,9 @@ func TestPoliciesAreDeterministic(t *testing.T) {
 			t.Fatalf("policy names differ: %q vs %q", a.Policy, b.Policy)
 		}
 		for i := range a.Apps {
-			if a.Apps[i].Metric() != b.Apps[i].Metric() {
-				t.Errorf("%s/%s: metrics differ across identical runs: %v vs %v",
-					a.Policy, a.Apps[i].Name, a.Apps[i].Metric(), b.Apps[i].Metric())
+			if !a.Apps[i].Metrics.Equal(b.Apps[i].Metrics) {
+				t.Errorf("%s/%s: metric sets differ across identical runs: %v vs %v",
+					a.Policy, a.Apps[i].Name, a.Apps[i].Metrics.Names(), b.Apps[i].Metrics.Names())
 			}
 		}
 	}

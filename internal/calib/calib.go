@@ -204,7 +204,10 @@ func measure(c Case, q sim.Time, k int, o Options) float64 {
 		spec := caseSpec(c, k, o)
 		spec.Seed = o.Seed + uint64(r)*7919
 		res := scenario.Run(spec, baselines.FixedQuantum{Q: q})
-		sum += res.Apps[0].Metric()
+		// A failed measurement (no jobs at all) contributes 0, exactly
+		// like the pre-registry scalar metric did.
+		v, _ := res.Apps[0].Perf()
+		sum += v
 	}
 	return sum / float64(o.Repeats)
 }

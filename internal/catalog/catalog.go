@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"aqlsched/internal/hw"
+	"aqlsched/internal/metrics"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/workload"
 )
@@ -212,3 +213,29 @@ func TopologyNames() []string { return hw.TopologyNames() }
 
 // RegisterTopology adds a named machine to the shared registry.
 func RegisterTopology(name string, f func() *hw.Topology) { hw.RegisterTopology(name, f) }
+
+// --- Metrics ---------------------------------------------------------------
+//
+// The canonical metric registry lives in internal/metrics (the scenario
+// layer registers the paper's measurements at init); the catalog
+// exposes it as the discovery surface tooling uses, exactly like the
+// other axes.
+
+// MetricDescs lists every registered measurement descriptor in
+// registration order — the column order of schema-driven artifacts.
+// Importing the catalog guarantees the scenario layer's registrations
+// have run.
+func MetricDescs() []metrics.Desc { return metrics.Descs() }
+
+// MetricByName resolves one metric descriptor, with a clean error for
+// user-supplied names (aqlsweep -metrics).
+func MetricByName(name string) (metrics.Desc, error) {
+	if d, ok := metrics.DescByName(name); ok {
+		return d, nil
+	}
+	names := make([]string, 0, len(metrics.Descs()))
+	for _, d := range metrics.Descs() {
+		names = append(names, d.Name)
+	}
+	return metrics.Desc{}, fmt.Errorf("catalog: unknown metric %q (known: %s)", name, strings.Join(names, ", "))
+}

@@ -190,3 +190,29 @@ func TestDynphaseScenarioRegistered(t *testing.T) {
 		t.Error("dynphase constructions share app state")
 	}
 }
+
+func TestMetricCatalog(t *testing.T) {
+	descs := MetricDescs()
+	if len(descs) == 0 {
+		t.Fatal("metric registry empty — importing the catalog must load the scenario registrations")
+	}
+	seen := map[string]bool{}
+	for _, d := range descs {
+		seen[d.Name] = true
+	}
+	for _, want := range []string{
+		"latency_mean", "time_per_job", "latency_p95", "fairness_jain",
+		"pool_migrations", "adapt_latency_periods",
+	} {
+		if !seen[want] {
+			t.Errorf("metric %q missing from the catalog", want)
+		}
+	}
+	d, err := MetricByName("latency_mean")
+	if err != nil || !d.Primary {
+		t.Errorf("latency_mean lookup: %+v, %v", d, err)
+	}
+	if _, err := MetricByName("nope"); err == nil {
+		t.Error("unknown metric resolved")
+	}
+}

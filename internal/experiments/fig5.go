@@ -109,8 +109,8 @@ func Fig5(cfg Config) *Fig5Result {
 		a := Fig5App{Name: app.Name, Expected: app.Expected, Norm: map[sim.Time]float64{}}
 		for _, q := range Fig5Quanta() {
 			cell := res.Cell("colo-"+app.Name, sweep.FixedPolicy(q).Name)
-			if ca := cell.App(app.Name); ca != nil && ca.Norm != nil {
-				a.Norm[q] = ca.Norm.Mean
+			if n := cell.App(app.Name).Norm(); n != nil {
+				a.Norm[q] = n.Mean
 			}
 		}
 		out.Apps = append(out.Apps, a)

@@ -47,12 +47,17 @@ func FourSocketSweep(cfg Config, name, baseline string, pols []sweep.Policy) *sw
 func perVMNorm(measured, base *sweep.RunResult) map[string]float64 {
 	baseVM := map[string]float64{}
 	for _, vm := range base.PerVM {
-		baseVM[vm.Name] = vm.Metric()
+		v, _ := vm.Perf()
+		baseVM[vm.Name] = v
 	}
 	norm := map[string]float64{}
 	for _, vm := range measured.PerVM {
+		// A measured VM whose metric failed contributes 0 — the
+		// paper-figure semantics these per-VM plots were produced with
+		// (a starved VM under the ablation reads as 0, not as absent).
+		v, _ := vm.Perf()
 		if b := baseVM[vm.Name]; b > 0 {
-			norm[vm.Name] = vm.Metric() / b
+			norm[vm.Name] = v / b
 		}
 	}
 	return norm

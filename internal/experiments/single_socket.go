@@ -62,10 +62,11 @@ func SingleSocket(cfg Config) *SingleSocketResult {
 			Types: map[string]string{},
 		}
 		if cell := res.Cell(sc.Name, aqlName); cell != nil {
-			for _, ca := range cell.Apps {
+			for i := range cell.Apps {
+				ca := &cell.Apps[i]
 				oc.Types[ca.App] = ca.Type
-				if ca.Norm != nil {
-					oc.Norm[ca.App] = ca.Norm.Mean
+				if n := ca.Norm(); n != nil {
+					oc.Norm[ca.App] = n.Mean
 				}
 			}
 		}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"aqlsched/internal/sim"
+)
+
+// descs for tests live in the shared registry; use a distinct prefix
+// so they can never collide with real registrations.
+var (
+	tLower = Register(Desc{Name: "test_lower", Unit: "us", Direction: LowerIsBetter, Scope: PerApp, Primary: true})
+	tHigh  = Register(Desc{Name: "test_higher", Unit: "index", Direction: HigherIsBetter, Scope: PerApp})
+	tDiag  = Register(Desc{Name: "test_diag", Unit: "count", Direction: DirNone, Scope: PerRun})
+)
+
+func TestRegistryOrderAndLookup(t *testing.T) {
+	rank := map[string]int{}
+	for i, d := range Descs() {
+		rank[d.Name] = i
+	}
+	if !(rank["test_lower"] < rank["test_higher"] && rank["test_higher"] < rank["test_diag"]) {
+		t.Error("registration order not preserved")
+	}
+	if d, ok := DescByName("test_lower"); !ok || !d.Primary || d.Unit != "us" {
+		t.Errorf("lookup returned %+v", d)
+	}
+	if _, ok := DescByName("test_missing"); ok {
+		t.Error("unknown name resolved")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(Desc{Name: "test_lower"})
+}
+
+func TestDescNormalizedDirections(t *testing.T) {
+	if v, ok := tLower.Normalized(2, 4); !ok || v != 0.5 {
+		t.Errorf("lower-is-better norm = %v/%v", v, ok)
+	}
+	if _, ok := tLower.Normalized(2, 0); ok {
+		t.Error("zero baseline normalized")
+	}
+	if v, ok := tHigh.Normalized(4, 2); !ok || v != 0.5 {
+		t.Errorf("higher-is-better norm = %v/%v (want baseline/measured)", v, ok)
+	}
+	if _, ok := tHigh.Normalized(0, 2); ok {
+		t.Error("zero measured rate normalized")
+	}
+	if _, ok := tDiag.Normalized(1, 1); ok {
+		t.Error("diagnostic metric normalized")
+	}
+}
+
+func TestSetOrderOverwriteAndPrimary(t *testing.T) {
+	var s Set
+	if s.Len() != 0 || s.Has("test_lower") {
+		t.Error("zero Set not empty")
+	}
+	if _, _, ok := s.Primary(); ok {
+		t.Error("empty Set has a primary")
+	}
+	s.Put(tHigh, 0.5)
+	s.Put(tLower, 10)
+	s.Put(tHigh, 0.9) // overwrite keeps position
+	want := []string{"test_higher", "test_lower"}
+	got := s.Names()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("names %v, want %v", got, want)
+	}
+	if v, ok := s.Get("test_higher"); !ok || v != 0.9 {
+		t.Errorf("overwrite lost: %v/%v", v, ok)
+	}
+	d, v, ok := s.Primary()
+	if !ok || d.Name != "test_lower" || v != 10 {
+		t.Errorf("primary = %s %v %v", d.Name, v, ok)
+	}
+
+	var o Set
+	o.Put(tLower, 10)
+	o.Put(tHigh, 0.9)
+	if s.Equal(o) {
+		t.Error("Sets with different insertion order compare equal")
+	}
+	o = Set{}
+	o.Put(tHigh, 0.9)
+	o.Put(tLower, 10)
+	if !s.Equal(o) {
+		t.Error("order-identical Sets compare unequal after overwrite")
+	}
+	var p Set
+	p.Put(tHigh, 0.9)
+	p.Put(tLower, 10)
+	if !o.Equal(p) {
+		t.Error("identical Sets compare unequal")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Put of unregistered desc did not panic")
+		}
+	}()
+	s.Put(Desc{Name: "test_unregistered"}, 1)
+}
+
+func TestJain(t *testing.T) {
+	if v, ok := Jain([]float64{5, 5, 5, 5}); !ok || v != 1 {
+		t.Errorf("equal allocation Jain = %v/%v, want exactly 1", v, ok)
+	}
+	// One active VM out of four: index collapses to 1/n.
+	if v, ok := Jain([]float64{8, 0, 0, 0}); !ok || math.Abs(v-0.25) > 1e-12 {
+		t.Errorf("maximally unfair Jain = %v, want 0.25", v)
+	}
+	if _, ok := Jain([]float64{3}); ok {
+		t.Error("single-sample Jain defined")
+	}
+	if _, ok := Jain([]float64{0, 0}); ok {
+		t.Error("all-zero Jain defined")
+	}
+	if _, ok := Jain(nil); ok {
+		t.Error("empty Jain defined")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for _, x := range []sim.Time{10, 20, 30} {
+		a.Record(x)
+	}
+	for _, x := range []sim.Time{40, 50} {
+		b.Record(x)
+	}
+	a.Merge(b)
+	if a.Count() != 5 {
+		t.Fatalf("merged count %d, want 5", a.Count())
+	}
+	if got := a.Percentile(100); got != sim.Time(50) {
+		t.Errorf("merged p100 = %v, want 50", got)
+	}
+	if got := a.Percentile(50); got != sim.Time(30) {
+		t.Errorf("merged p50 = %v, want 30", got)
+	}
+}

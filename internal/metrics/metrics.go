@@ -49,6 +49,14 @@ func (h *Histogram) Reset() {
 // Count reports the number of samples.
 func (h *Histogram) Count() int { return len(h.samples) }
 
+// Merge folds another histogram's samples into h (app-level percentiles
+// pool the request latencies of every VM instance and server).
+func (h *Histogram) Merge(o *Histogram) {
+	for _, d := range o.samples {
+		h.Record(d)
+	}
+}
+
 // Mean reports the average sample, or 0 with no samples.
 func (h *Histogram) Mean() sim.Time {
 	if len(h.samples) == 0 {
@@ -101,23 +109,6 @@ func Rate(a, b JobSnapshot) float64 {
 	return float64(b.Jobs-a.Jobs) / dt.Seconds()
 }
 
-// Normalized converts a measured value and its baseline into the
-// paper's normalized performance: measured/baseline for lower-is-better
-// quantities (latency, time-per-job). A value below 1 means the measured
-// configuration performed better than the baseline.
-func Normalized(measured, baseline float64) float64 {
-	if baseline == 0 {
-		return 0
-	}
-	return measured / baseline
-}
-
-// NormalizedFromRates converts throughputs (higher is better) into the
-// paper's lower-is-better normalized form: baselineRate/measuredRate is
-// the relative time-per-job.
-func NormalizedFromRates(measuredRate, baselineRate float64) float64 {
-	if measuredRate == 0 {
-		return 0
-	}
-	return baselineRate / measuredRate
-}
+// Baseline normalization lives on Desc.Normalized (desc.go): the
+// metric's declared direction picks measured/baseline or its inverse,
+// so every normalized value reads lower-is-better.

@@ -77,21 +77,6 @@ func TestRate(t *testing.T) {
 	}
 }
 
-func TestNormalized(t *testing.T) {
-	if n := Normalized(50, 100); n != 0.5 {
-		t.Errorf("Normalized = %v, want 0.5", n)
-	}
-	if n := Normalized(50, 0); n != 0 {
-		t.Errorf("zero baseline = %v, want 0", n)
-	}
-	if n := NormalizedFromRates(200, 100); n != 0.5 {
-		t.Errorf("NormalizedFromRates = %v, want 0.5 (2x faster)", n)
-	}
-	if n := NormalizedFromRates(0, 100); n != 0 {
-		t.Errorf("zero rate = %v, want 0", n)
-	}
-}
-
 // Property: mean is within [min, max] and percentiles are monotone.
 func TestHistogramInvariantsProperty(t *testing.T) {
 	f := func(vals []uint16) bool {

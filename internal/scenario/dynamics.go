@@ -109,6 +109,23 @@ type Adaptation struct {
 	Migrations uint64
 }
 
+// record publishes the run's adaptation diagnostics through the metric
+// registry, making the tracker an ordinary registry client: the sweep
+// aggregates and emits adapt_* like any other per-run metric. A run
+// that recognized no flip records no adapt_latency_periods at all (a
+// mean over zero flips is undefined, not zero) — aggregation skips the
+// absent measurement.
+func (a *Adaptation) record(set *metrics.Set) {
+	set.Put(MVTRSWindow, float64(a.Window))
+	if a.RecognizedFlips > 0 {
+		set.Put(MAdaptLatency, a.MeanLatencyPeriods)
+	}
+	set.Put(MAdaptMatch, a.MatchedFrac)
+	set.Put(MAdaptFlips, float64(a.Flips))
+	set.Put(MAdaptReclusters, float64(a.Reclusters))
+	set.Put(MAdaptMigrations, float64(a.Migrations))
+}
+
 // DynPhase is the hand-authored dynamic scenario of the adaptation
 // experiment: 12 vCPUs on 4 single-socket pCPUs, 8 of them phased VMs
 // whose ground-truth type flips every 1–1.5 s (compute↔compute and

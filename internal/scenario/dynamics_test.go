@@ -93,7 +93,7 @@ func TestArrivalsDeployAndDepart(t *testing.T) {
 	if m.Instances != 2 {
 		t.Fatalf("churner instances = %d, want 2", m.Instances)
 	}
-	if m.Throughput <= 0 {
+	if v, ok := m.Perf(); !ok || v <= 0 {
 		t.Error("churn VMs measured zero throughput")
 	}
 	// The departed VM's domain is gone; the survivor's remains.
@@ -108,7 +108,7 @@ func TestArrivalsDeployAndDepart(t *testing.T) {
 		t.Error("long-lived arrival missing from the hypervisor")
 	}
 	// Static apps are still measured normally.
-	if res.App("hmmer").Throughput <= 0 {
+	if v, ok := res.App("hmmer").Perf(); !ok || v <= 0 {
 		t.Error("standing population starved after churn")
 	}
 }
@@ -140,13 +140,17 @@ func TestDynamicRunDeterminism(t *testing.T) {
 		t.Fatalf("app counts differ: %d vs %d", len(a.Apps), len(b.Apps))
 	}
 	for i := range a.Apps {
-		if a.Apps[i] != b.Apps[i] {
+		if a.Apps[i].Name != b.Apps[i].Name || a.Apps[i].Instances != b.Apps[i].Instances ||
+			!a.Apps[i].Metrics.Equal(b.Apps[i].Metrics) {
 			t.Errorf("app %d diverged: %+v vs %+v", i, a.Apps[i], b.Apps[i])
 		}
 	}
 	if a.CtxSwitches != b.CtxSwitches || a.PoolMigrations != b.PoolMigrations {
 		t.Errorf("diagnostics diverged: ctx %d/%d mig %d/%d",
 			a.CtxSwitches, b.CtxSwitches, a.PoolMigrations, b.PoolMigrations)
+	}
+	if !a.Metrics.Equal(b.Metrics) {
+		t.Error("run metric sets diverged across identical runs")
 	}
 	aa, ba := a.Adapt, b.Adapt
 	if (aa == nil) != (ba == nil) {

@@ -1,0 +1,145 @@
+// Metric registrations: every measurement the scenario layer produces,
+// declared once as a metrics.Desc and recorded into typed Sets. The
+// declaration order of this single var block is the registry order, and
+// therefore the column order of every schema-driven sweep artifact.
+package scenario
+
+import (
+	"aqlsched/internal/metrics"
+	"aqlsched/internal/sim"
+)
+
+var (
+	// --- Per-app performance ------------------------------------------------
+
+	// MLatencyMean is the mean request latency of an IO application
+	// (pooled over its VM instances' servers) — the primary metric the
+	// paper reports for IO apps.
+	MLatencyMean = metrics.Register(metrics.Desc{
+		Name: "latency_mean", Unit: "us", Direction: metrics.LowerIsBetter,
+		Agg: metrics.AggMean, Scope: metrics.PerApp, Primary: true,
+		Help: "mean request latency of an IO application",
+	})
+	// MTimePerJob is the inverse aggregate throughput of a batch
+	// application — the primary lower-is-better metric for batch apps.
+	MTimePerJob = metrics.Register(metrics.Desc{
+		Name: "time_per_job", Unit: "s", Direction: metrics.LowerIsBetter,
+		Agg: metrics.AggMean, Scope: metrics.PerApp, Primary: true,
+		Help: "time per completed job of a batch application (1/throughput)",
+	})
+	// MLatencyP50/P95/P99 are request-latency percentiles over the same
+	// pooled sample set MLatencyMean averages.
+	MLatencyP50 = metrics.Register(metrics.Desc{
+		Name: "latency_p50", Unit: "us", Direction: metrics.LowerIsBetter,
+		Agg: metrics.AggPercentile, Scope: metrics.PerApp,
+		Help: "median request latency of an IO application",
+	})
+	MLatencyP95 = metrics.Register(metrics.Desc{
+		Name: "latency_p95", Unit: "us", Direction: metrics.LowerIsBetter,
+		Agg: metrics.AggPercentile, Scope: metrics.PerApp,
+		Help: "95th-percentile request latency of an IO application",
+	})
+	MLatencyP99 = metrics.Register(metrics.Desc{
+		Name: "latency_p99", Unit: "us", Direction: metrics.LowerIsBetter,
+		Agg: metrics.AggPercentile, Scope: metrics.PerApp,
+		Help: "99th-percentile request latency of an IO application",
+	})
+	// MFairnessJain is Jain's fairness index over the per-VM performance
+	// values of an application's instances (≥ 2 VMs): 1 when every VM
+	// performed identically.
+	MFairnessJain = metrics.Register(metrics.Desc{
+		Name: "fairness_jain", Unit: "index", Direction: metrics.HigherIsBetter,
+		Agg: metrics.AggIndex, Scope: metrics.PerApp,
+		Help: "Jain fairness index across an app's VM instances",
+	})
+
+	// --- Per-run hypervisor diagnostics --------------------------------------
+
+	MCtxSwitches = metrics.Register(metrics.Desc{
+		Name: "ctx_switches", Unit: "count", Direction: metrics.DirNone,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "vCPU context switches over the whole run",
+	})
+	MPreemptions = metrics.Register(metrics.Desc{
+		Name: "preemptions", Unit: "count", Direction: metrics.DirNone,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "involuntary preemptions over the whole run",
+	})
+	MPoolMigrations = metrics.Register(metrics.Desc{
+		Name: "pool_migrations", Unit: "count", Direction: metrics.DirNone,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "vCPU pool moves over the whole run",
+	})
+
+	// --- Per-run adaptation diagnostics (dynamic scenarios under a
+	// recognizing policy; absent otherwise) ----------------------------------
+
+	MVTRSWindow = metrics.Register(metrics.Desc{
+		Name: "vtrs_window", Unit: "periods", Direction: metrics.DirNone,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "vTRS sliding-window length n the run used",
+	})
+	MAdaptLatency = metrics.Register(metrics.Desc{
+		Name: "adapt_latency_periods", Unit: "periods", Direction: metrics.DirNone,
+		Agg: metrics.AggMean, Scope: metrics.PerRun,
+		Help: "mean monitoring periods from a ground-truth flip to re-recognition",
+	})
+	MAdaptMatch = metrics.Register(metrics.Desc{
+		Name: "adapt_match_frac", Unit: "frac", Direction: metrics.DirNone,
+		Agg: metrics.AggFraction, Scope: metrics.PerRun,
+		Help: "fraction of (VM, period) samples whose recognized type matched truth",
+	})
+	MAdaptFlips = metrics.Register(metrics.Desc{
+		Name: "adapt_flips", Unit: "count", Direction: metrics.DirNone,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "observed ground-truth type flips",
+	})
+	MAdaptReclusters = metrics.Register(metrics.Desc{
+		Name: "adapt_reclusters", Unit: "count", Direction: metrics.DirNone,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "applied cluster reconfigurations in the measurement window",
+	})
+	MAdaptMigrations = metrics.Register(metrics.Desc{
+		Name: "adapt_migrations", Unit: "count", Direction: metrics.DirNone,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "vCPU pool moves in the measurement window",
+	})
+)
+
+// appProbe accumulates one application's raw measurements over its VM
+// instances during result collection, then folds them into Sets.
+type appProbe struct {
+	isLatency bool
+	// latency apps: pooled mean accumulator + pooled histogram.
+	latSum sim.Time
+	latN   int
+	hist   metrics.Histogram
+	// batch apps: aggregate rate.
+	rate float64
+	// perVM holds each instance's primary value (mean latency in µs or
+	// jobs/s rate) for the fairness index; failed instances contribute
+	// nothing.
+	perVM []float64
+}
+
+// finish folds the accumulated raw measurements into the app's Set. A
+// probe that measured nothing (no completed jobs, no served requests)
+// records no primary metric at all — the failed measurement is absent,
+// and aggregation skips it.
+func (p *appProbe) finish(set *metrics.Set) {
+	if p.isLatency {
+		if p.latN > 0 {
+			// Pooled mean in sim.Time (integer µs) arithmetic — the exact
+			// value the paper's figures were produced with.
+			set.Put(MLatencyMean, float64(p.latSum/sim.Time(p.latN)))
+			set.Put(MLatencyP50, float64(p.hist.Percentile(50)))
+			set.Put(MLatencyP95, float64(p.hist.Percentile(95)))
+			set.Put(MLatencyP99, float64(p.hist.Percentile(99)))
+		}
+	} else if p.rate > 0 {
+		set.Put(MTimePerJob, 1/p.rate)
+	}
+	if j, ok := metrics.Jain(p.perVM); ok {
+		set.Put(MFairnessJain, j)
+	}
+}

@@ -47,30 +47,27 @@ type Spec struct {
 }
 
 // AppMeasure is the measured performance of one application (aggregated
-// over its VM instances).
+// over its VM instances) or of one VM: a typed, self-describing metric
+// Set recorded against the package's registered Descs (see measure.go).
+// IO applications carry latency_mean plus the latency percentiles,
+// batch applications time_per_job; apps with ≥ 2 instances add
+// fairness_jain. A metric the probes could not measure (a batch app
+// that completed no jobs) is absent from the Set, never zero.
 type AppMeasure struct {
 	Name     string
 	Expected vcputype.Type
-	// Latency is the mean request latency (IO applications).
-	Latency sim.Time
-	// Throughput is jobs per second (batch applications).
-	Throughput float64
-	// IsLatency selects which of the two is the app's metric.
-	IsLatency bool
 	// Instances is how many VMs were aggregated.
 	Instances int
+	// Metrics is the app's measurement set (registry-described).
+	Metrics metrics.Set
 }
 
-// Metric reports the scalar lower-is-better performance value: mean
-// latency in µs for IO apps, time-per-job (1/throughput) for batch.
-func (a AppMeasure) Metric() float64 {
-	if a.IsLatency {
-		return float64(a.Latency)
-	}
-	if a.Throughput == 0 {
-		return 0
-	}
-	return 1 / a.Throughput
+// Perf reports the app's primary lower-is-better performance value:
+// mean latency in µs for IO apps, time-per-job for batch. ok is false
+// when the measurement failed (no requests served, no jobs completed).
+func (a AppMeasure) Perf() (v float64, ok bool) {
+	_, v, ok = a.Metrics.Primary()
+	return v, ok
 }
 
 // Result is one experiment run.
@@ -81,14 +78,19 @@ type Result struct {
 	// PerVM holds one measurement per deployment (Name = domain name),
 	// for experiments that report per-VM or per-cluster results.
 	PerVM []AppMeasure
-	// Hypervisor diagnostics.
+	// Metrics is the run-scoped measurement set: hypervisor counters
+	// (ctx_switches, preemptions, pool_migrations) and, for dynamic runs
+	// under a recognizing policy, the adaptation diagnostics — all
+	// recorded through the same registry the per-app metrics use.
+	Metrics metrics.Set
+	// Hypervisor diagnostics (also present in Metrics).
 	CtxSwitches uint64
 	Preemptions uint64
 	// PoolMigrations counts vCPU pool moves over the whole run.
 	PoolMigrations uint64
-	// Adapt carries the adaptation diagnostics of a dynamic run under a
-	// recognizing policy (nil otherwise): recognized-vs-truth time
-	// series, recognition latency, recluster and migration churn.
+	// Adapt keeps the full adaptation drill-down of a dynamic run under
+	// a recognizing policy (nil otherwise): the per-VM recognized-vs-
+	// truth time series behind the adapt_* metrics.
 	Adapt *Adaptation
 	// Hyp and Deps stay accessible for experiment-specific inspection.
 	Hyp  *xen.Hypervisor
@@ -213,11 +215,15 @@ func Run(spec Spec, pol Policy) *Result {
 	}
 	h.Run(spec.Warmup + spec.Measure)
 
-	// Aggregate per application name, and record per-VM measures.
-	agg := map[string]*AppMeasure{}
+	// Aggregate per application name, and record per-VM measures. Each
+	// app's probe accumulates raw measurements over its instances in
+	// deployment order, then finish() folds them into the typed Set.
+	type appState struct {
+		m     AppMeasure
+		probe appProbe
+	}
+	states := map[string]*appState{}
 	var order []string
-	latSum := map[string]sim.Time{}
-	latN := map[string]int{}
 	res := &Result{
 		Spec:           spec,
 		Policy:         pol.Name(),
@@ -227,32 +233,45 @@ func Run(spec Spec, pol Policy) *Result {
 		Hyp:            h,
 		Deps:           deps,
 	}
+	res.Metrics.Put(MCtxSwitches, float64(h.CtxSwitches))
+	res.Metrics.Put(MPreemptions, float64(h.Preemptions))
+	res.Metrics.Put(MPoolMigrations, float64(h.PoolMigrations))
 	if tracker != nil {
 		res.Adapt = tracker.finalize()
+		res.Adapt.record(&res.Metrics)
 	}
 	for _, d := range deps {
 		name := d.Spec.Name
-		m, ok := agg[name]
+		st, ok := states[name]
 		if !ok {
-			m = &AppMeasure{Name: name, Expected: d.Spec.Expected, IsLatency: d.IsLatencyApp()}
-			agg[name] = m
+			st = &appState{
+				m:     AppMeasure{Name: name, Expected: d.Spec.Expected},
+				probe: appProbe{isLatency: d.IsLatencyApp()},
+			}
+			states[name] = st
 			order = append(order, name)
 		}
-		m.Instances++
+		st.m.Instances++
 		vm := AppMeasure{
 			Name:      d.Dom.Name,
 			Expected:  d.Spec.Expected,
-			IsLatency: d.IsLatencyApp(),
 			Instances: 1,
 		}
-		if m.IsLatency {
+		if st.probe.isLatency {
 			for _, s := range d.Servers {
 				if s.Lat.Count() > 0 {
-					latSum[name] += s.Lat.Mean() * sim.Time(s.Lat.Count())
-					latN[name] += s.Lat.Count()
+					st.probe.latSum += s.Lat.Mean() * sim.Time(s.Lat.Count())
+					st.probe.latN += s.Lat.Count()
+					st.probe.hist.Merge(s.Lat)
 				}
 			}
-			vm.Latency = d.MeanLatency()
+			// A VM that served no requests has no latency information:
+			// its measurement is absent, and it contributes nothing to
+			// the fairness index.
+			if lat := d.MeanLatency(); lat > 0 {
+				vm.Metrics.Put(MLatencyMean, float64(lat))
+				st.probe.perVM = append(st.probe.perVM, float64(lat))
+			}
 		} else {
 			// Throughput windows: [measure start, run end] for VMs that
 			// lived through the window; churn VMs count from arrival
@@ -266,28 +285,43 @@ func Run(spec Spec, pol Policy) *Result {
 				end = di.snap
 			}
 			rate := metrics.Rate(start.jobs, end)
-			m.Throughput += rate
-			vm.Throughput = rate
+			st.probe.rate += rate
+			if rate > 0 {
+				vm.Metrics.Put(MTimePerJob, 1/rate)
+			}
+			// A zero rate is a meaningful measurement for fairness — a
+			// starved VM is the unfairness the index should expose — so
+			// it joins the sample set even though the VM's own
+			// time_per_job is a failed (absent) measurement.
+			st.probe.perVM = append(st.probe.perVM, rate)
 		}
 		res.PerVM = append(res.PerVM, vm)
 	}
 	for _, name := range order {
-		m := agg[name]
-		if m.IsLatency && latN[name] > 0 {
-			m.Latency = latSum[name] / sim.Time(latN[name])
-		}
-		res.Apps = append(res.Apps, *m)
+		st := states[name]
+		st.probe.finish(&st.m.Metrics)
+		res.Apps = append(res.Apps, st.m)
 	}
 	return res
 }
 
 // Normalize computes the paper's normalized performance per app:
-// measured metric / baseline metric, lower is better.
+// measured primary metric over baseline, lower is better. Apps whose
+// measurement failed on either side are absent from the map.
 func Normalize(measured, baseline *Result) map[string]float64 {
 	out := make(map[string]float64, len(measured.Apps))
 	for _, a := range measured.Apps {
-		b := baseline.App(a.Name)
-		out[a.Name] = metrics.Normalized(a.Metric(), b.Metric())
+		d, v, ok := a.Metrics.Primary()
+		if !ok {
+			continue
+		}
+		bv, ok := baseline.App(a.Name).Metrics.Get(d.Name)
+		if !ok {
+			continue
+		}
+		if n, ok := d.Normalized(v, bv); ok {
+			out[a.Name] = n
+		}
 	}
 	return out
 }

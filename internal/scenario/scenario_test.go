@@ -73,24 +73,48 @@ func TestRunProducesMeasurements(t *testing.T) {
 		t.Fatalf("%d app measurements, want 3", len(res.Apps))
 	}
 	web := res.App("SPECweb2009")
-	if !web.IsLatency || web.Latency == 0 {
-		t.Errorf("web measurement %+v, want nonzero latency", web)
+	if lat, ok := web.Metrics.Get(scenario.MLatencyMean.Name); !ok || lat == 0 {
+		t.Errorf("web measurement %v, want nonzero latency_mean", web.Metrics.Names())
+	}
+	// The percentile metrics ride along and must be ordered sanely.
+	p50, _ := web.Metrics.Get(scenario.MLatencyP50.Name)
+	p95, ok95 := web.Metrics.Get(scenario.MLatencyP95.Name)
+	p99, ok99 := web.Metrics.Get(scenario.MLatencyP99.Name)
+	if !ok95 || !ok99 || p50 <= 0 || p95 < p50 || p99 < p95 {
+		t.Errorf("latency percentiles p50=%v p95=%v p99=%v, want 0 < p50 <= p95 <= p99", p50, p95, p99)
 	}
 	if web.Instances != 5 {
 		t.Errorf("web instances %d, want 5", web.Instances)
 	}
+	// Five web VMs: the fairness index must exist and land in (0, 1].
+	if j, ok := web.Metrics.Get(scenario.MFairnessJain.Name); !ok || j <= 0 || j > 1 {
+		t.Errorf("web fairness_jain %v (ok=%v), want in (0, 1]", j, ok)
+	}
 	bz := res.App("bzip2")
-	if bz.IsLatency || bz.Throughput == 0 {
-		t.Errorf("bzip2 measurement %+v, want nonzero throughput", bz)
+	if _, ok := bz.Metrics.Get(scenario.MLatencyMean.Name); ok {
+		t.Error("batch app carries a latency metric")
+	}
+	if tpj, ok := bz.Metrics.Get(scenario.MTimePerJob.Name); !ok || tpj == 0 {
+		t.Errorf("bzip2 measurement %v, want nonzero time_per_job", bz.Metrics.Names())
 	}
 	if len(res.PerVM) != 16 {
 		t.Errorf("%d per-VM measures, want 16", len(res.PerVM))
 	}
-	if res.VM("bzip2-1").Throughput == 0 {
+	if v, ok := res.VM("bzip2-1").Perf(); !ok || v == 0 {
 		t.Error("per-VM throughput missing")
 	}
-	if bz.Metric() <= 0 || web.Metric() <= 0 {
-		t.Error("metrics must be positive")
+	if bv, ok := bz.Perf(); !ok || bv <= 0 {
+		t.Error("bzip2 primary metric must be positive")
+	}
+	if wv, ok := web.Perf(); !ok || wv <= 0 {
+		t.Error("web primary metric must be positive")
+	}
+	// The run-scoped Set carries the hypervisor counters.
+	if v, ok := res.Metrics.Get(scenario.MCtxSwitches.Name); !ok || v <= 0 {
+		t.Error("run metrics missing ctx_switches")
+	}
+	if !res.Metrics.Has(scenario.MPoolMigrations.Name) {
+		t.Error("run metrics missing pool_migrations")
 	}
 }
 
@@ -99,7 +123,8 @@ func TestRunDeterminism(t *testing.T) {
 		spec := scenario.ScenarioByName("S3", 77)
 		spec.Warmup = 500 * sim.Millisecond
 		spec.Measure = 1 * sim.Second
-		return scenario.Run(spec, baselines.XenDefault{}).App("bzip2").Throughput
+		v, _ := scenario.Run(spec, baselines.XenDefault{}).App("bzip2").Perf()
+		return v
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("identical scenario runs diverged: %v vs %v", a, b)

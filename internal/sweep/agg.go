@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"fmt"
 	"math"
 
 	"aqlsched/internal/metrics"
@@ -49,34 +50,67 @@ func NewStats(xs []float64) Stats {
 	return s
 }
 
-// CellApp aggregates one application inside one cell.
-type CellApp struct {
-	App string `json:"app"`
-	// Type is the expected vCPU type (IOInt, ConSpin, ...).
-	Type string `json:"type"`
-	// IsLatency tells whether Metric is mean latency (µs) or
-	// time-per-job (s); both are lower-is-better.
-	IsLatency bool `json:"is_latency"`
-	// Metric summarizes the raw per-run metric across replications.
-	Metric Stats `json:"metric"`
+// CellMetric aggregates one registered metric inside one cell: the raw
+// per-run samples summarized across replications and, for
+// direction-aware metrics under a baseline, the per-replication
+// normalized performance (paired by seed). A replication whose run did
+// not record the metric (failed measurement, non-adaptive run)
+// contributes no sample.
+type CellMetric struct {
+	// Name is the metric's registry name; unit, direction, aggregation
+	// kind and scope come from the Document schema (or the registry).
+	Name  string `json:"name"`
+	Stats Stats  `json:"stats"`
 	// Norm summarizes the per-replication normalized performance
-	// against the baseline policy (paired by seed replication). Nil
-	// when the sweep has no baseline or every baseline metric was zero.
+	// against the baseline policy. Nil when the sweep has no baseline,
+	// the metric is a diagnostic, or no replication pair normalized.
 	Norm *Stats `json:"norm,omitempty"`
 }
 
-// AdaptCell aggregates adaptation diagnostics across the replications
-// of one cell (dynamic scenarios under recognizing policies only).
-// Latency is in vTRS monitoring periods; Reclusters and Migrations
-// count measurement-window churn.
-type AdaptCell struct {
-	// Window is the vTRS window n the cell's policy ran with.
-	Window     int   `json:"window"`
-	Latency    Stats `json:"latency_periods"`
-	MatchFrac  Stats `json:"match_frac"`
-	Flips      Stats `json:"flips"`
-	Reclusters Stats `json:"reclusters"`
-	Migrations Stats `json:"migrations"`
+// CellApp aggregates one application inside one cell: its metric Set's
+// union across replications, in registry order.
+type CellApp struct {
+	App string `json:"app"`
+	// Type is the expected vCPU type (IOInt, ConSpin, ...).
+	Type    string       `json:"type"`
+	Metrics []CellMetric `json:"metrics"`
+}
+
+// Metric finds an aggregated metric by registry name; nil when absent.
+func (a *CellApp) Metric(name string) *CellMetric {
+	if a == nil {
+		return nil
+	}
+	for i := range a.Metrics {
+		if a.Metrics[i].Name == name {
+			return &a.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Perf returns the app's primary performance aggregate (the metric the
+// paper's figures report); nil when every replication failed to
+// measure it.
+func (a *CellApp) Perf() *CellMetric {
+	if a == nil {
+		return nil
+	}
+	for i := range a.Metrics {
+		if d, ok := metrics.DescByName(a.Metrics[i].Name); ok && d.Primary {
+			return &a.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Norm is the normalized aggregate of the app's primary performance
+// metric; nil without a baseline or when no pair normalized.
+func (a *CellApp) Norm() *Stats {
+	if m := a.Perf(); m != nil {
+		return m.Norm
+	}
+	return nil
 }
 
 // Cell is the aggregate of one scenario × policy coordinate.
@@ -84,9 +118,9 @@ type Cell struct {
 	Scenario string    `json:"scenario"`
 	Policy   string    `json:"policy"`
 	Apps     []CellApp `json:"apps"`
-	// Adapt summarizes adaptation diagnostics when the cell's runs
-	// produced them (dynamic scenario + recognizing policy).
-	Adapt *AdaptCell `json:"adapt,omitempty"`
+	// Metrics aggregates the run-scoped metric Sets (hypervisor
+	// counters, adaptation diagnostics), in registry order.
+	Metrics []CellMetric `json:"metrics,omitempty"`
 	// Runs is how many replications succeeded.
 	Runs int `json:"runs"`
 }
@@ -104,53 +138,71 @@ func (c *Cell) App(name string) *CellApp {
 	return nil
 }
 
+// Metric finds a run-scoped aggregate by registry name; nil when absent.
+func (c *Cell) Metric(name string) *CellMetric {
+	if c == nil {
+		return nil
+	}
+	for i := range c.Metrics {
+		if c.Metrics[i].Name == name {
+			return &c.Metrics[i]
+		}
+	}
+	return nil
+}
+
 // Norm is a convenience accessor for the mean normalized performance
-// of one app in one cell (0 when the coordinate or baseline is
-// missing).
+// of one app's primary metric in one cell (0 when the coordinate or
+// baseline is missing).
 func (r *Result) Norm(scenarioName, policyName, app string) float64 {
-	if ca := r.Cell(scenarioName, policyName).App(app); ca != nil && ca.Norm != nil {
-		return ca.Norm.Mean
+	if n := r.Cell(scenarioName, policyName).App(app).Norm(); n != nil {
+		return n.Mean
 	}
 	return 0
 }
 
-// aggregateAdapt folds the adaptation diagnostics of one cell's
-// replications into summary statistics; nil when no replication
-// produced any. Latency samples come only from runs that recognized at
-// least one flip (a mean over zero flips is undefined, not zero).
-func aggregateAdapt(spec *Spec, runAt func(si, pi, k int) *RunResult, si, pi, n int) *AdaptCell {
-	var lat, match, flips, recl, mig []float64
-	window := 0
+// collectMetric gathers one metric's samples across a cell's n
+// replications: get reads the metric from replication k (ok=false when
+// that run failed or never measured it), getBase reads the paired
+// baseline replication (nil without a baseline). Returns nil when no
+// replication measured the metric — the column simply does not exist
+// for this cell.
+func collectMetric(d metrics.Desc, n int, get, getBase func(k int) (float64, bool)) *CellMetric {
+	var raw, norm []float64
 	for k := 0; k < n; k++ {
-		rr := runAt(si, pi, k)
-		if rr == nil || rr.Adapt == nil {
+		v, ok := get(k)
+		if !ok {
 			continue
 		}
-		a := rr.Adapt
-		window = a.Window
-		if a.RecognizedFlips > 0 {
-			lat = append(lat, a.MeanLatencyPeriods)
+		raw = append(raw, v)
+		if getBase == nil {
+			continue
 		}
-		match = append(match, a.MatchedFrac)
-		flips = append(flips, float64(a.Flips))
-		recl = append(recl, float64(a.Reclusters))
-		mig = append(mig, float64(a.Migrations))
+		bv, ok := getBase(k)
+		if !ok {
+			continue
+		}
+		if nv, ok := d.Normalized(v, bv); ok {
+			norm = append(norm, nv)
+		}
 	}
-	if len(match) == 0 {
+	if len(raw) == 0 {
 		return nil
 	}
-	return &AdaptCell{
-		Window:     window,
-		Latency:    NewStats(lat),
-		MatchFrac:  NewStats(match),
-		Flips:      NewStats(flips),
-		Reclusters: NewStats(recl),
-		Migrations: NewStats(mig),
+	cm := &CellMetric{Name: d.Name, Stats: NewStats(raw)}
+	if len(norm) > 0 {
+		s := NewStats(norm)
+		cm.Norm = &s
 	}
+	return cm
 }
 
-// aggregate folds the run matrix into per-cell statistics, walking
-// cells in expansion order so the output is deterministic.
+// aggregate folds the run matrix into per-cell statistics. It is fully
+// schema-driven: for every cell it walks the metric registry in
+// registration order, collects the samples each replication's Sets
+// recorded, and summarizes them generically — adding a metric anywhere
+// in the pipeline automatically adds it here and in every emitter.
+// Cells are walked in expansion order so the output is deterministic.
 func aggregate(spec *Spec, runs []RunResult) []Cell {
 	n := spec.seeds()
 	baselineIdx := -1
@@ -167,6 +219,15 @@ func aggregate(spec *Spec, runs []RunResult) []Cell {
 			return nil
 		}
 		return rr
+	}
+
+	var perApp, perRun []metrics.Desc
+	for _, d := range metrics.Descs() {
+		if d.Scope == metrics.PerRun {
+			perRun = append(perRun, d)
+		} else {
+			perApp = append(perApp, d)
+		}
 	}
 
 	var cells []Cell
@@ -192,36 +253,106 @@ func aggregate(spec *Spec, runs []RunResult) []Cell {
 				continue
 			}
 			for ai, am := range first.Apps {
-				ca := CellApp{App: am.Name, Type: am.Expected.String(), IsLatency: am.IsLatency}
-				var raw, norm []float64
-				for k := 0; k < n; k++ {
-					rr := runAt(si, pi, k)
-					if rr == nil || ai >= len(rr.Apps) {
-						continue
+				ca := CellApp{App: am.Name, Type: am.Expected.String(), Metrics: []CellMetric{}}
+				for _, d := range perApp {
+					d := d
+					get := func(k int) (float64, bool) {
+						rr := runAt(si, pi, k)
+						if rr == nil || ai >= len(rr.Apps) {
+							return 0, false
+						}
+						return rr.Apps[ai].Metrics.Get(d.Name)
 					}
-					m := rr.Apps[ai].Metric()
-					raw = append(raw, m)
-					if baselineIdx < 0 {
-						continue
+					var getBase func(k int) (float64, bool)
+					if baselineIdx >= 0 {
+						getBase = func(k int) (float64, bool) {
+							rr := runAt(si, baselineIdx, k)
+							if rr == nil || ai >= len(rr.Apps) {
+								return 0, false
+							}
+							return rr.Apps[ai].Metrics.Get(d.Name)
+						}
 					}
-					base := runAt(si, baselineIdx, k)
-					if base == nil || ai >= len(base.Apps) {
-						continue
+					if cm := collectMetric(d, n, get, getBase); cm != nil {
+						ca.Metrics = append(ca.Metrics, *cm)
 					}
-					if bm := base.Apps[ai].Metric(); bm > 0 {
-						norm = append(norm, metrics.Normalized(m, bm))
-					}
-				}
-				ca.Metric = NewStats(raw)
-				if len(norm) > 0 {
-					s := NewStats(norm)
-					ca.Norm = &s
 				}
 				cell.Apps = append(cell.Apps, ca)
 			}
-			cell.Adapt = aggregateAdapt(spec, runAt, si, pi, n)
+			for _, d := range perRun {
+				d := d
+				get := func(k int) (float64, bool) {
+					rr := runAt(si, pi, k)
+					if rr == nil {
+						return 0, false
+					}
+					return rr.Metrics.Get(d.Name)
+				}
+				var getBase func(k int) (float64, bool)
+				if baselineIdx >= 0 {
+					getBase = func(k int) (float64, bool) {
+						rr := runAt(si, baselineIdx, k)
+						if rr == nil {
+							return 0, false
+						}
+						return rr.Metrics.Get(d.Name)
+					}
+				}
+				if cm := collectMetric(d, n, get, getBase); cm != nil {
+					cell.Metrics = append(cell.Metrics, *cm)
+				}
+			}
 			cells = append(cells, cell)
 		}
 	}
 	return cells
+}
+
+// SelectMetrics restricts every emitter (JSON, CSV, table) to the
+// named metrics, dropping all other columns from the cells in place.
+// It errors — before mutating anything — on a name that is not
+// registered, and on a selection no cell ever recorded (a registered
+// metric the sweep never measured, e.g. adapt_* on a static grid):
+// both would otherwise silently emit an empty artifact. Emission
+// order stays registry order regardless of selection order.
+func (r *Result) SelectMetrics(names ...string) error {
+	keep := make(map[string]bool, len(names))
+	for _, n := range names {
+		if _, ok := metrics.DescByName(n); !ok {
+			return fmt.Errorf("sweep: unknown metric %q (aqlsweep -list-metrics prints the registry)", n)
+		}
+		keep[n] = true
+	}
+	recorded := false
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		for j := range c.Apps {
+			for _, m := range c.Apps[j].Metrics {
+				recorded = recorded || keep[m.Name]
+			}
+		}
+		for _, m := range c.Metrics {
+			recorded = recorded || keep[m.Name]
+		}
+	}
+	if !recorded && len(r.Cells) > 0 {
+		return fmt.Errorf("sweep: selection %v matches no metric recorded by this sweep", names)
+	}
+	filter := func(ms []CellMetric) []CellMetric {
+		out := ms[:0]
+		for _, m := range ms {
+			if keep[m.Name] {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		for j := range c.Apps {
+			c.Apps[j].Metrics = filter(c.Apps[j].Metrics)
+		}
+		c.Metrics = filter(c.Metrics)
+	}
+	return nil
 }

@@ -71,14 +71,16 @@ func TestAggregateSkipsFailedBaselineReplication(t *testing.T) {
 	if cell == nil || len(cell.Apps) == 0 {
 		t.Fatal("measured cell missing")
 	}
-	for _, a := range cell.Apps {
-		if a.Metric.N != 2 {
-			t.Errorf("%s metric has %d samples, want 2", a.App, a.Metric.N)
+	for i := range cell.Apps {
+		a := &cell.Apps[i]
+		perf := a.Perf()
+		if perf == nil || perf.Stats.N != 2 {
+			t.Errorf("%s primary metric missing or wrong sample count: %+v", a.App, perf)
 		}
-		if a.Norm == nil {
+		if n := a.Norm(); n == nil {
 			t.Errorf("%s lost its norm entirely; only the failed pair should be skipped", a.App)
-		} else if a.Norm.N != 1 {
-			t.Errorf("%s norm has %d samples, want 1 (seed#0 pair skipped)", a.App, a.Norm.N)
+		} else if n.N != 1 {
+			t.Errorf("%s norm has %d samples, want 1 (seed#0 pair skipped)", a.App, n.N)
 		}
 	}
 
@@ -120,7 +122,7 @@ func TestAllReplicationsFailedCell(t *testing.T) {
 		t.Fatalf("%d failed runs, want 2", res.Failed())
 	}
 	cell := res.Cell("S2", "boom")
-	if cell == nil || cell.Runs != 0 || len(cell.Apps) != 0 || cell.Adapt != nil {
+	if cell == nil || cell.Runs != 0 || len(cell.Apps) != 0 || len(cell.Metrics) != 0 {
 		t.Errorf("dead cell not empty: %+v", cell)
 	}
 
@@ -156,12 +158,22 @@ func TestNormAndCellAppNilPaths(t *testing.T) {
 	if c.App("ghost") != nil {
 		t.Error("App on nil cell not nil")
 	}
+	if c.Metric("ghost") != nil {
+		t.Error("Metric on nil cell not nil")
+	}
+	var ca *CellApp
+	if ca.Metric("ghost") != nil || ca.Perf() != nil || ca.Norm() != nil {
+		t.Error("nil CellApp accessors not nil-safe")
+	}
 	c = &Cell{Apps: []CellApp{{App: "real"}}}
 	if c.App("ghost") != nil {
 		t.Error("App finds a ghost")
 	}
 	if c.App("real") == nil {
 		t.Error("App misses a real app")
+	}
+	if c.App("real").Perf() != nil {
+		t.Error("Perf on a metric-less app not nil")
 	}
 	// A cell present but without norms: Norm degrades to 0.
 	res = &Result{Cells: []Cell{{Scenario: "s", Policy: "p", Apps: []CellApp{{App: "a"}}}}}

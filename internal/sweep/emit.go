@@ -7,20 +7,66 @@ import (
 	"io"
 	"strconv"
 
+	"aqlsched/internal/metrics"
 	"aqlsched/internal/report"
 )
 
+// MetricSchema is the self-description of one metric column in an
+// emitted artifact, derived from the registry Desc.
+type MetricSchema struct {
+	Name      string `json:"name"`
+	Unit      string `json:"unit"`
+	Direction string `json:"direction"`
+	Agg       string `json:"agg"`
+	Scope     string `json:"scope"`
+}
+
 // Document is the JSON artifact shape: the sweep's identity, its axes,
-// and the aggregate cells. It deliberately excludes wall-clock data so
-// the artifact is byte-identical across worker counts and machines.
+// the metric schema, and the aggregate cells. Every emitter derives
+// its columns from the same schema, so a newly registered metric shows
+// up everywhere without emitter changes. The document deliberately
+// excludes wall-clock data so the artifact is byte-identical across
+// worker counts and machines.
 type Document struct {
-	Name      string   `json:"name"`
-	Baseline  string   `json:"baseline,omitempty"`
-	Seeds     int      `json:"seeds"`
-	Scenarios []string `json:"scenarios"`
-	Policies  []string `json:"policies"`
-	Failed    int      `json:"failed_runs,omitempty"`
-	Cells     []Cell   `json:"cells"`
+	Name      string         `json:"name"`
+	Baseline  string         `json:"baseline,omitempty"`
+	Seeds     int            `json:"seeds"`
+	Scenarios []string       `json:"scenarios"`
+	Policies  []string       `json:"policies"`
+	Failed    int            `json:"failed_runs,omitempty"`
+	Schema    []MetricSchema `json:"schema"`
+	Cells     []Cell         `json:"cells"`
+}
+
+// Schema lists the metrics present anywhere in the result's cells, in
+// registry order — the emitted column set.
+func (r *Result) Schema() []MetricSchema {
+	present := map[string]bool{}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		for j := range c.Apps {
+			for _, m := range c.Apps[j].Metrics {
+				present[m.Name] = true
+			}
+		}
+		for _, m := range c.Metrics {
+			present[m.Name] = true
+		}
+	}
+	out := []MetricSchema{}
+	for _, d := range metrics.Descs() {
+		if !present[d.Name] {
+			continue
+		}
+		out = append(out, MetricSchema{
+			Name:      d.Name,
+			Unit:      d.Unit,
+			Direction: d.Direction.String(),
+			Agg:       d.Agg.String(),
+			Scope:     d.Scope.String(),
+		})
+	}
+	return out
 }
 
 // Document builds the emittable view of the result.
@@ -32,6 +78,7 @@ func (r *Result) Document() Document {
 		Scenarios: r.Scenarios,
 		Policies:  r.Policies,
 		Failed:    r.Failed(),
+		Schema:    r.Schema(),
 		Cells:     r.Cells,
 	}
 }
@@ -49,85 +96,67 @@ func csvFloat(x float64) string {
 	return strconv.FormatFloat(x, 'g', -1, 64)
 }
 
-// hasAdapt reports whether any cell carries adaptation diagnostics.
-func (r *Result) hasAdapt() bool {
-	for i := range r.Cells {
-		if r.Cells[i].Adapt != nil {
-			return true
-		}
-	}
-	return false
+// metricUnit resolves a metric's unit for display ("" when the name
+// left the registry — impossible for artifacts we emitted ourselves).
+func metricUnit(name string) string {
+	d, _ := metrics.DescByName(name)
+	return d.Unit
 }
 
-// adaptCSV renders the per-cell adaptation columns ("" when absent).
-func adaptCSV(a *AdaptCell) []string {
-	if a == nil {
-		return []string{"", "", "", "", ""}
-	}
-	return []string{
-		strconv.Itoa(a.Window),
-		csvFloat(a.Latency.Mean),
-		csvFloat(a.MatchFrac.Mean),
-		csvFloat(a.Reclusters.Mean),
-		csvFloat(a.Migrations.Mean),
-	}
-}
-
-// WriteCSV emits one row per (scenario, policy, app) aggregate. Sweeps
-// whose cells carry adaptation diagnostics gain five extra columns;
-// static sweeps keep the historical header, so committed golden
-// artifacts stay byte-identical.
+// WriteCSV emits the aggregate in long form: one row per (scenario,
+// policy, app, metric), followed by one row per (scenario, policy,
+// metric) for run-scoped metrics (empty app and type columns). Rows
+// follow cell expansion order and registry metric order, so the
+// artifact is deterministic for any worker count; the column set never
+// depends on which metrics happen to be present.
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	withAdapt := r.hasAdapt()
 	header := []string{
-		"scenario", "policy", "app", "type", "metric_kind",
-		"metric_mean", "metric_std", "metric_ci95", "metric_min", "metric_max",
+		"scenario", "policy", "app", "type", "metric", "unit",
+		"mean", "std", "ci95", "min", "max",
 		"norm_mean", "norm_std", "norm_ci95", "runs",
-	}
-	if withAdapt {
-		header = append(header,
-			"vtrs_window", "adapt_latency_periods", "adapt_match_frac",
-			"reclusters_mean", "migrations_mean")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-	for _, c := range r.Cells {
-		// A cell whose every replication failed has no apps; mark it so
-		// CSV-only consumers can tell a failed cell from an absent one.
-		if len(c.Apps) == 0 {
-			row := []string{c.Scenario, c.Policy, "", "", "FAILED",
+	row := func(c *Cell, app, typ string, m *CellMetric) error {
+		out := []string{
+			c.Scenario, c.Policy, app, typ, m.Name, metricUnit(m.Name),
+			csvFloat(m.Stats.Mean), csvFloat(m.Stats.Std), csvFloat(m.Stats.CI95),
+			csvFloat(m.Stats.Min), csvFloat(m.Stats.Max),
+			"", "", "",
+			strconv.Itoa(c.Runs),
+		}
+		if m.Norm != nil {
+			out[11] = csvFloat(m.Norm.Mean)
+			out[12] = csvFloat(m.Norm.Std)
+			out[13] = csvFloat(m.Norm.CI95)
+		}
+		return cw.Write(out)
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		// A cell whose every replication failed has no rows at all; mark
+		// it so CSV-only consumers can tell a failed cell from an absent
+		// one.
+		if c.Runs == 0 {
+			out := []string{c.Scenario, c.Policy, "", "", "FAILED", "",
 				"", "", "", "", "", "", "", "", strconv.Itoa(c.Runs)}
-			if withAdapt {
-				row = append(row, adaptCSV(c.Adapt)...)
-			}
-			if err := cw.Write(row); err != nil {
+			if err := cw.Write(out); err != nil {
 				return err
 			}
 			continue
 		}
-		for _, a := range c.Apps {
-			kind := "time_per_job_s"
-			if a.IsLatency {
-				kind = "latency_us"
+		for j := range c.Apps {
+			a := &c.Apps[j]
+			for k := range a.Metrics {
+				if err := row(c, a.App, a.Type, &a.Metrics[k]); err != nil {
+					return err
+				}
 			}
-			row := []string{
-				c.Scenario, c.Policy, a.App, a.Type, kind,
-				csvFloat(a.Metric.Mean), csvFloat(a.Metric.Std), csvFloat(a.Metric.CI95),
-				csvFloat(a.Metric.Min), csvFloat(a.Metric.Max),
-				"", "", "",
-				strconv.Itoa(c.Runs),
-			}
-			if a.Norm != nil {
-				row[10] = csvFloat(a.Norm.Mean)
-				row[11] = csvFloat(a.Norm.Std)
-				row[12] = csvFloat(a.Norm.CI95)
-			}
-			if withAdapt {
-				row = append(row, adaptCSV(c.Adapt)...)
-			}
-			if err := cw.Write(row); err != nil {
+		}
+		for k := range c.Metrics {
+			if err := row(c, "", "", &c.Metrics[k]); err != nil {
 				return err
 			}
 		}
@@ -136,36 +165,44 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// Table renders the aggregates as a report table, one row per
-// (scenario, policy, app).
+// Table renders the aggregates as a report table in the same long
+// form as the CSV: one row per (scenario, policy, app, metric), with
+// run-scoped metrics under an empty app column.
 func (r *Result) Table() *report.Table {
 	title := fmt.Sprintf("Sweep %s: %d scenarios x %d policies x %d seeds",
 		r.Name, len(r.Scenarios), len(r.Policies), r.Seeds)
 	t := &report.Table{
 		Title:   title,
-		Headers: []string{"scenario", "policy", "app", "type", "metric", "±ci95", "norm", "±ci95"},
+		Headers: []string{"scenario", "policy", "app", "metric", "mean", "±ci95", "norm", "±ci95"},
 	}
-	for _, c := range r.Cells {
-		for _, a := range c.Apps {
-			norm, nci := "-", "-"
-			if a.Norm != nil {
-				norm = fmt.Sprintf("%.3f", a.Norm.Mean)
-				nci = fmt.Sprintf("%.3f", a.Norm.CI95)
+	addRow := func(c *Cell, app string, m *CellMetric) {
+		norm, nci := "-", "-"
+		if m.Norm != nil {
+			norm = fmt.Sprintf("%.3f", m.Norm.Mean)
+			nci = fmt.Sprintf("%.3f", m.Norm.CI95)
+		}
+		name := m.Name
+		if u := metricUnit(m.Name); u != "" && u != "index" && u != "frac" && u != "count" {
+			name += " (" + u + ")"
+		}
+		t.AddRow(c.Scenario, c.Policy, app, name,
+			fmt.Sprintf("%.4g", m.Stats.Mean), fmt.Sprintf("%.3g", m.Stats.CI95),
+			norm, nci)
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		for j := range c.Apps {
+			a := &c.Apps[j]
+			for k := range a.Metrics {
+				addRow(c, a.App, &a.Metrics[k])
 			}
-			t.AddRow(c.Scenario, c.Policy, a.App, a.Type,
-				fmt.Sprintf("%.4g", a.Metric.Mean), fmt.Sprintf("%.3g", a.Metric.CI95),
-				norm, nci)
+		}
+		for k := range c.Metrics {
+			addRow(c, "-", &c.Metrics[k])
 		}
 	}
 	if r.Baseline != "" {
-		t.AddNote("norm = metric / %s metric, paired per seed replication; lower is better", r.Baseline)
-	}
-	for _, c := range r.Cells {
-		if a := c.Adapt; a != nil {
-			t.AddNote("adaptation %s/%s (vTRS n=%d): recognition latency %.2f periods (±%.2f), truth-match %.0f%%, reclusters %.1f, migrations %.1f per measure window",
-				c.Scenario, c.Policy, a.Window, a.Latency.Mean, a.Latency.CI95,
-				100*a.MatchFrac.Mean, a.Reclusters.Mean, a.Migrations.Mean)
-		}
+		t.AddNote("norm = metric normalized over %s, paired per seed replication; lower is better", r.Baseline)
 	}
 	if f := r.Failed(); f > 0 {
 		t.AddNote("%d run(s) failed and were excluded from aggregates", f)

@@ -1,0 +1,196 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"aqlsched/internal/metrics"
+)
+
+// emitSpec is a small real grid covering both metric families: S5 has
+// an IO app (latency + percentiles + fairness) and batch apps
+// (time_per_job), under a baseline so norms exist.
+func emitSpec(t *testing.T) *Spec {
+	t.Helper()
+	s, err := (&File{
+		Name:      "emit",
+		Scenarios: refs("S5"),
+		Policies:  []string{"xen", "microsliced"},
+		Baseline:  "xen-credit",
+		Seeds:     2,
+		WarmupMS:  300,
+		MeasureMS: 500,
+	}).Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// registryRank maps metric names to registration order for
+// subsequence checks.
+func registryRank(t *testing.T) map[string]int {
+	t.Helper()
+	rank := map[string]int{}
+	for i, d := range metrics.Descs() {
+		rank[d.Name] = i
+	}
+	if len(rank) == 0 {
+		t.Fatal("metric registry empty — scenario registrations missing")
+	}
+	return rank
+}
+
+// TestEmitterColumnOrderDeterministic: the schema-driven emitters must
+// produce byte-identical artifacts for any worker count, and every
+// row group must list metrics in registry order — the column order is
+// a function of the registry, never of run scheduling.
+func TestEmitterColumnOrderDeterministic(t *testing.T) {
+	spec := emitSpec(t)
+	emit := func(workers int) (string, string, string) {
+		res, err := Exec(spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var js, cs, tb bytes.Buffer
+		if err := res.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&cs); err != nil {
+			t.Fatal(err)
+		}
+		res.Table().Render(&tb)
+		return js.String(), cs.String(), tb.String()
+	}
+	j1, c1, t1 := emit(1)
+	j4, c4, t4 := emit(4)
+	if j1 != j4 {
+		t.Error("JSON artifact differs between -workers 1 and -workers 4")
+	}
+	if c1 != c4 {
+		t.Error("CSV artifact differs between -workers 1 and -workers 4")
+	}
+	if t1 != t4 {
+		t.Error("table differs between -workers 1 and -workers 4")
+	}
+
+	// Within every (scenario, policy, app) group the metric rows must
+	// follow registry order.
+	rank := registryRank(t)
+	lines := strings.Split(strings.TrimSpace(c1), "\n")
+	if lines[0] != "scenario,policy,app,type,metric,unit,mean,std,ci95,min,max,norm_mean,norm_std,norm_ci95,runs" {
+		t.Fatalf("unexpected CSV header: %s", lines[0])
+	}
+	lastKey, lastRank := "", -1
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		key, metric := f[0]+"/"+f[1]+"/"+f[2], f[4]
+		r, known := rank[metric]
+		if !known {
+			t.Fatalf("CSV emits unregistered metric %q", metric)
+		}
+		if key == lastKey && r <= lastRank {
+			t.Errorf("metric %q out of registry order in group %s", metric, key)
+		}
+		lastKey, lastRank = key, r
+	}
+}
+
+// TestSelectMetricsFiltersAndErrors: selection restricts all emitted
+// rows to the chosen metrics, and an unknown name errors cleanly
+// instead of emitting an empty artifact.
+func TestSelectMetricsFiltersAndErrors(t *testing.T) {
+	res, err := Exec(emitSpec(t), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.SelectMetrics("definitely_not_a_metric"); err == nil {
+		t.Fatal("unknown metric selection accepted")
+	} else if !strings.Contains(err.Error(), "definitely_not_a_metric") {
+		t.Errorf("error does not name the offender: %v", err)
+	}
+	// A registered metric this (static) sweep never recorded must also
+	// error instead of emitting a header-only artifact.
+	if err := res.SelectMetrics("adapt_match_frac"); err == nil {
+		t.Fatal("selection of an unrecorded metric accepted")
+	}
+	if res.Cell("S5", "microsliced").App("SPECweb2009").Perf() == nil {
+		t.Fatal("failed selection mutated the cells")
+	}
+	if err := res.SelectMetrics("latency_mean", "pool_migrations"); err != nil {
+		t.Fatal(err)
+	}
+	var cs bytes.Buffer
+	if err := res.WriteCSV(&cs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cs.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("selection emptied the artifact:\n%s", cs.String())
+	}
+	for _, line := range lines[1:] {
+		m := strings.Split(line, ",")[4]
+		if m != "latency_mean" && m != "pool_migrations" {
+			t.Errorf("unselected metric %q leaked into the CSV", m)
+		}
+	}
+	// The schema shrinks with the selection.
+	for _, s := range res.Schema() {
+		if s.Name != "latency_mean" && s.Name != "pool_migrations" {
+			t.Errorf("unselected metric %q still in the schema", s.Name)
+		}
+	}
+}
+
+// TestDocumentRoundTrip pins the emitted schema: the JSON artifact
+// parses back into a Document whose schema matches the result's, with
+// exactly the expected metric set for a static sweep in registry
+// order.
+func TestDocumentRoundTrip(t *testing.T) {
+	res, err := Exec(emitSpec(t), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted JSON does not round-trip: %v", err)
+	}
+	if !reflect.DeepEqual(doc, res.Document()) {
+		t.Error("round-tripped Document differs from the emitted one")
+	}
+	var names []string
+	for _, s := range doc.Schema {
+		names = append(names, s.Name)
+	}
+	want := []string{
+		"latency_mean", "time_per_job", "latency_p50", "latency_p95",
+		"latency_p99", "fairness_jain", "ctx_switches", "preemptions",
+		"pool_migrations",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("emitted schema %v, want %v (registry order, static sweep)", names, want)
+	}
+	// Schema entries are self-describing.
+	for _, s := range doc.Schema {
+		d, ok := metrics.DescByName(s.Name)
+		if !ok {
+			t.Fatalf("schema names unregistered metric %q", s.Name)
+		}
+		if s.Unit != d.Unit || s.Direction != d.Direction.String() ||
+			s.Agg != d.Agg.String() || s.Scope != d.Scope.String() {
+			t.Errorf("schema entry %+v disagrees with registry desc %+v", s, d)
+		}
+	}
+	// Cells survive the round trip with norms intact.
+	web := doc.Cells[1].App("SPECweb2009")
+	if web == nil || web.Norm() == nil {
+		t.Error("round-tripped cell lost the web app's normalized stats")
+	}
+}

@@ -354,11 +354,11 @@ func TestSweepDynamicDeterminism(t *testing.T) {
 		t.Error("dynmix CSV differs between workers=1 and workers=4")
 	}
 	// The dynamic sweep must actually emit adaptation data for the
-	// recognizing policy, with the extended CSV header.
+	// recognizing policy — as ordinary schema-driven metric rows.
 	if !strings.Contains(c1, "adapt_latency_periods") {
-		t.Error("adaptation columns missing from dynamic CSV")
+		t.Error("adaptation rows missing from dynamic CSV")
 	}
-	if !strings.Contains(j1, `"adapt"`) {
+	if !strings.Contains(j1, `"adapt_match_frac"`) {
 		t.Error("adaptation aggregate missing from dynamic JSON")
 	}
 }

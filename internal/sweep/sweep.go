@@ -22,6 +22,7 @@ import (
 
 	"aqlsched/internal/baselines"
 	"aqlsched/internal/core"
+	"aqlsched/internal/metrics"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
 )
@@ -169,19 +170,17 @@ func (s *Spec) Runs() []Run {
 }
 
 // RunResult is the outcome of one run: the per-app and per-VM
-// measurements plus hypervisor diagnostics. Policy keeps the exact
-// policy instance used, so AQL runs expose their controller (see
-// Controller). Raw is retained only under Options.KeepRaw.
+// measurement Sets plus the run-scoped metric Set (hypervisor
+// counters, adaptation diagnostics). Policy keeps the exact policy
+// instance used, so AQL runs expose their controller (see Controller).
+// Raw is retained only under Options.KeepRaw.
 type RunResult struct {
 	Run
-	Apps        []scenario.AppMeasure
-	PerVM       []scenario.AppMeasure
-	CtxSwitches uint64
-	Preemptions uint64
-	// Adapt carries the adaptation diagnostics of a dynamic run under a
-	// recognizing policy (nil otherwise): per-VM recognized-vs-truth
-	// series, recognition latency, recluster/migration churn.
-	Adapt *scenario.Adaptation
+	Apps  []scenario.AppMeasure
+	PerVM []scenario.AppMeasure
+	// Metrics is the run-scoped Set (scenario.Result.Metrics): every
+	// value flows into the cell aggregates through the metric registry.
+	Metrics metrics.Set
 	// Instance is the exact policy value used by this run.
 	Instance scenario.Policy
 	Raw      *scenario.Result
@@ -353,9 +352,7 @@ func execOne(spec *Spec, run Run, keepRaw bool) (rr RunResult) {
 
 	rr.Apps = res.Apps
 	rr.PerVM = res.PerVM
-	rr.CtxSwitches = res.CtxSwitches
-	rr.Preemptions = res.Preemptions
-	rr.Adapt = res.Adapt
+	rr.Metrics = res.Metrics
 	rr.Instance = pol
 	if keepRaw {
 		rr.Raw = res

@@ -91,20 +91,24 @@ func TestSweepAggregates(t *testing.T) {
 		if len(c.Apps) == 0 {
 			t.Errorf("cell %s/%s: no apps", c.Scenario, c.Policy)
 		}
-		for _, a := range c.Apps {
-			if a.Metric.N != 2 {
-				t.Errorf("%s/%s/%s: metric N=%d, want 2", c.Scenario, c.Policy, a.App, a.Metric.N)
+		for i := range c.Apps {
+			a := &c.Apps[i]
+			perf := a.Perf()
+			if perf == nil || perf.Stats.N != 2 {
+				t.Errorf("%s/%s/%s: primary metric missing or N wrong: %+v", c.Scenario, c.Policy, a.App, perf)
+				continue
 			}
-			if !(a.Metric.Mean > 0) || math.IsInf(a.Metric.Mean, 0) {
-				t.Errorf("%s/%s/%s: bad metric mean %v", c.Scenario, c.Policy, a.App, a.Metric.Mean)
+			if !(perf.Stats.Mean > 0) || math.IsInf(perf.Stats.Mean, 0) {
+				t.Errorf("%s/%s/%s: bad metric mean %v", c.Scenario, c.Policy, a.App, perf.Stats.Mean)
 			}
-			if a.Norm == nil {
+			n := a.Norm()
+			if n == nil {
 				t.Errorf("%s/%s/%s: missing normalized stats", c.Scenario, c.Policy, a.App)
 				continue
 			}
-			if c.Policy == spec.Baseline && (a.Norm.Mean != 1 || a.Norm.Std != 0) {
+			if c.Policy == spec.Baseline && (n.Mean != 1 || n.Std != 0) {
 				t.Errorf("%s/%s/%s: baseline norm %v±%v, want exactly 1±0",
-					c.Scenario, c.Policy, a.App, a.Norm.Mean, a.Norm.Std)
+					c.Scenario, c.Policy, a.App, n.Mean, n.Std)
 			}
 		}
 	}
