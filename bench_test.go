@@ -14,6 +14,9 @@ import (
 	"testing"
 
 	"aqlsched/internal/experiments"
+	"aqlsched/internal/fleet"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
 	"aqlsched/internal/sweep"
 )
 
@@ -129,6 +132,49 @@ func BenchmarkOverhead(b *testing.B) {
 			b.Fatal("monitor never sampled")
 		}
 	}
+}
+
+// BenchmarkFleet100Hosts runs a full datacenter-scale fleet scenario —
+// 100 hosts, a 2,400-vCPU population with churn, live migrations — and
+// reports the simulator's scale-out throughput as simulated VM-seconds
+// per wall-clock second ("vmsec/s", higher is better).
+func BenchmarkFleet100Hosts(b *testing.B) {
+	spec := fleet.Spec{
+		Name:      "fleet-bench",
+		Hosts:     100,
+		OverSub:   3,
+		Placement: "least-loaded",
+		Tenants:   []fleet.Tenant{{Name: "alpha", Weight: 2}, {Name: "beta", Weight: 1}, {Name: "gamma", Weight: 1}},
+		VCPUs:     2400,
+		Mix: map[string]float64{
+			"IOInt": 0.25, "ConSpin": 0.25, "LLCF": 0.2, "LLCO": 0.15, "LoLCF": 0.15,
+		},
+		Churn: &scenario.ChurnSpec{
+			Rate:         40,
+			MeanLifetime: 400 * sim.Millisecond,
+			MinLifetime:  100 * sim.Millisecond,
+			Horizon:      900 * sim.Millisecond,
+		},
+		Rebalance: fleet.Rebalance{
+			Every:         100 * sim.Millisecond,
+			Threshold:     0.05,
+			MigrationTime: 40 * sim.Millisecond,
+			MaxPerTick:    8,
+		},
+		Warmup:  300 * sim.Millisecond,
+		Measure: 700 * sim.Millisecond,
+		Seed:    sweep.DefaultSeed,
+	}
+	var vmSeconds float64
+	for i := 0; i < b.N; i++ {
+		res := fleet.Run(spec, fleet.Options{})
+		v, ok := res.Metrics.Get("fleet_vm_seconds")
+		if !ok || v <= 0 {
+			b.Fatalf("fleet_vm_seconds = %v (ok=%v)", v, ok)
+		}
+		vmSeconds = v
+	}
+	b.ReportMetric(vmSeconds*float64(b.N)/b.Elapsed().Seconds(), "vmsec/s")
 }
 
 // sweepBenchSpec is a small real grid — S1+S5 under three policies,

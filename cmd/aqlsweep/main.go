@@ -187,6 +187,13 @@ func printCatalog(w io.Writer) {
 	fmt.Fprintln(w, "\npolicies:")
 	fmt.Fprintf(w, "  %s\n", strings.Join(catalog.PolicyGrammar(), " "))
 
+	// Axes registered by layers above the core catalog (the fleet's
+	// placement policies, and whatever comes next).
+	for _, ax := range catalog.ExtraAxes() {
+		fmt.Fprintf(w, "\n%s (for {\"fleet\": {...}} scenario entries):\n", ax.Kind)
+		fmt.Fprintf(w, "  %s\n", strings.Join(ax.Names, " "))
+	}
+
 	fmt.Fprintln(w, "\nbuilt-in sweeps:")
 	for _, n := range sweep.BuiltinNames() {
 		s, _ := sweep.Builtin(n)

@@ -198,6 +198,59 @@ func PolicyGrammar() []string {
 	return out
 }
 
+// --- Extra axes ------------------------------------------------------------
+//
+// Layers above the catalog (the fleet's placement policies) own their
+// registries but still want their names discoverable next to the core
+// axes. RegisterAxis hooks a name lister under an axis kind; aqlsweep
+// -list walks ExtraAxes so new axes show up without the catalog
+// importing their packages (which would cycle).
+
+type extraAxis struct {
+	kind  string
+	names func() []string
+}
+
+var (
+	axisMu sync.RWMutex
+	axes   []extraAxis
+)
+
+// RegisterAxis publishes an additional catalog axis: kind labels it in
+// listings ("placements"), names lists its valid entries. Registered
+// once per kind, from init functions.
+func RegisterAxis(kind string, names func() []string) {
+	if kind == "" || names == nil {
+		panic("catalog: RegisterAxis needs a kind and a lister")
+	}
+	axisMu.Lock()
+	defer axisMu.Unlock()
+	for _, a := range axes {
+		if a.kind == kind {
+			panic(fmt.Sprintf("catalog: axis %q registered twice", kind))
+		}
+	}
+	axes = append(axes, extraAxis{kind: kind, names: names})
+}
+
+// ExtraAxis is one published additional axis.
+type ExtraAxis struct {
+	Kind  string
+	Names []string
+}
+
+// ExtraAxes lists the registered additional axes in registration order,
+// with their current names resolved.
+func ExtraAxes() []ExtraAxis {
+	axisMu.RLock()
+	defer axisMu.RUnlock()
+	out := make([]ExtraAxis, 0, len(axes))
+	for _, a := range axes {
+		out = append(out, ExtraAxis{Kind: a.kind, Names: a.names()})
+	}
+	return out
+}
+
 // --- Topologies ------------------------------------------------------------
 //
 // The canonical topology registry lives in internal/hw so that layers

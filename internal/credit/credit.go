@@ -60,6 +60,12 @@ type data struct {
 	// converted into burned credit, so periodic accounting and
 	// requeue-time burning never double-charge.
 	chargedUpTo sim.Time
+	// boostRetry is the vCPU's pre-bound boost-retry event body. Bound
+	// once at AddVCPU, it lets boostPreempt schedule any number of
+	// pending retries without allocating a closure per attempt (the
+	// retry path fires on every BOOST wake and used to dominate the
+	// allocation profile).
+	boostRetry sim.EventFunc
 }
 
 func sd(v *xen.VCPU) *data { return v.SD.(*data) }
@@ -98,7 +104,14 @@ func (s *Scheduler) Attach(h *xen.Hypervisor) {
 
 // AddVCPU implements xen.Scheduler.
 func (s *Scheduler) AddVCPU(v *xen.VCPU, now sim.Time) {
-	v.SD = &data{credit: 0, prio: prioUnder}
+	c := &data{credit: 0, prio: prioUnder}
+	c.boostRetry = func(t sim.Time) {
+		// Still waiting with its boost? Try again.
+		if v.State() == xen.Runnable && c.queued && c.prio == prioBoost {
+			s.boostPreempt(v, t)
+		}
+	}
+	v.SD = c
 	s.vcpus = append(s.vcpus, v)
 }
 
@@ -321,12 +334,7 @@ func (s *Scheduler) boostPreempt(v *xen.VCPU, now sim.Time) {
 		// limit rather than stranding the boosted vCPU for a slice.
 		soonest = now + xen.RateLimit
 	}
-	s.h.Engine.At(soonest, func(t sim.Time) {
-		// Still waiting with its boost? Try again.
-		if v.State() == xen.Runnable && sd(v).queued && sd(v).prio == prioBoost {
-			s.boostPreempt(v, t)
-		}
-	})
+	s.h.Engine.At(soonest, sd(v).boostRetry)
 }
 
 // Requeue implements xen.Scheduler: burn credits for the slice that just

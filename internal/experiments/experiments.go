@@ -80,7 +80,7 @@ func mustScenario(name string) sweep.Scenario {
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}
-	return sweep.Scenario(sc)
+	return sweep.Scenario{Name: sc.Name, New: sc.New}
 }
 
 // windows returns (warmup, measure).

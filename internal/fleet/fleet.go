@@ -1,0 +1,589 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"aqlsched/internal/baselines"
+	"aqlsched/internal/credit"
+	"aqlsched/internal/metrics"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/vcputype"
+	"aqlsched/internal/workload"
+	"aqlsched/internal/xen"
+)
+
+// Host is one machine of the fleet: a private hypervisor (with its own
+// engine, scheduler and policy instance) plus the fleet-level admission
+// state. Host engines advance independently between fleet events, so
+// they never observe each other's intermediate state — the enabling
+// property for the roadmap's per-host-goroutine sharding.
+type Host struct {
+	ID  int
+	Hyp *xen.Hypervisor
+	// Pol is the per-host scheduling policy instance (the sweep's
+	// policy axis: xen, aql, fixed:<q>, ...).
+	Pol scenario.Policy
+
+	deployRNG *sim.RNG
+	capacity  int
+	committed int // admitted vCPUs, including in-flight migration reservations
+	reserved  int // the reservation share of committed (incoming migrations)
+	vms       []*VM
+}
+
+// Capacity is the host's admission limit in vCPUs.
+func (h *Host) Capacity() int { return h.capacity }
+
+// Committed is the host's admitted vCPU count (reservations included).
+func (h *Host) Committed() int { return h.committed }
+
+// Load is the host's admission-load fraction.
+func (h *Host) Load() float64 { return float64(h.committed) / float64(h.capacity) }
+
+// VMs lists the VMs resident on the host; callers must not mutate it.
+func (h *Host) VMs() []*VM { return h.vms }
+
+// advance runs the host's private engine up to the fleet time t.
+func (h *Host) advance(t sim.Time) {
+	if t > h.Hyp.Engine.Now() {
+		h.Hyp.Run(t)
+	}
+}
+
+// VM is one fleet VM over its whole life: queued, placed, possibly
+// migrated, possibly departed.
+type VM struct {
+	ID int
+	VMSpec
+
+	// PlacedAt is when placement admitted the VM (meaningful once
+	// Placed).
+	PlacedAt sim.Time
+	Placed   bool
+	Gone     bool
+
+	host      *Host
+	dep       *workload.Deployment
+	migrating bool
+	// runCarried accumulates attained vCPU time from hosts the VM
+	// already left (live migrations fold the old deployment's runtime
+	// in here before redeploying).
+	runCarried sim.Time
+	// baseRun is the attained-time watermark at measurement start.
+	baseRun sim.Time
+}
+
+// Host reports where the VM currently runs (nil while queued or gone).
+func (v *VM) Host() *Host { return v.host }
+
+// Migrating reports whether a live migration is in flight.
+func (v *VM) Migrating() bool { return v.migrating }
+
+// --- Central event timeline ------------------------------------------------
+
+type eventKind uint8
+
+const (
+	evArrive eventKind = iota
+	evMeasureStart
+	evTick
+	evDepart
+	evMigDone
+)
+
+// event is one entry of the fleet timeline. Events are ordered by
+// (at, seq): seq is assigned in push order, so same-time events fire in
+// a deterministic schedule order regardless of heap internals.
+type event struct {
+	at       sim.Time
+	seq      int
+	kind     eventKind
+	vm       *VM
+	src, dst *Host // migration endpoints (evMigDone)
+}
+
+func (f *Fleet) push(at sim.Time, kind eventKind, vm *VM, src, dst *Host) {
+	e := event{at: at, seq: f.seq, kind: kind, vm: vm, src: src, dst: dst}
+	f.seq++
+	f.heap = append(f.heap, e)
+	i := len(f.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(f.heap[i], f.heap[p]) {
+			break
+		}
+		f.heap[i], f.heap[p] = f.heap[p], f.heap[i]
+		i = p
+	}
+}
+
+func (f *Fleet) pop() event {
+	top := f.heap[0]
+	last := len(f.heap) - 1
+	f.heap[0] = f.heap[last]
+	f.heap = f.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && eventLess(f.heap[l], f.heap[s]) {
+			s = l
+		}
+		if r < last && eventLess(f.heap[r], f.heap[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		f.heap[i], f.heap[s] = f.heap[s], f.heap[i]
+		i = s
+	}
+	return top
+}
+
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// --- Fleet -----------------------------------------------------------------
+
+// Fleet is one running (or finished) fleet simulation. Tests and
+// diagnostics may inspect it through Result.Fleet; sweep artifacts only
+// ever see the metric Sets.
+type Fleet struct {
+	Spec    Spec
+	Tenants []Tenant
+	Hosts   []*Host
+	VMs     []*VM
+
+	placer  Placement
+	pending []*VM
+	// tenantCommitted tracks admitted vCPUs per tenant (placement
+	// fairness state; reservations excluded).
+	tenantCommitted []int
+
+	warmup, end sim.Time
+
+	heap []event
+	seq  int
+
+	// counters and accumulators
+	placements, migrations, aborted int
+	waitSum                         sim.Time
+	imbSum                          float64
+	imbN                            int
+	vmSeconds                       float64
+	tenantAttained                  []float64
+	tenantShares                    [][]float64
+}
+
+// Options tunes execution. Everything here is per-run state the sweep
+// layer provides; none of it may influence results across runs.
+type Options struct {
+	// NewPolicy builds one fresh per-host scheduling policy instance
+	// (nil = the unmodified credit scheduler). Each host gets its own
+	// instance so policies that capture controllers stay host-local.
+	NewPolicy func() scenario.Policy
+}
+
+// Result is one executed fleet run: per-tenant measures (the fleet's
+// "apps") plus the run-scoped fleet metric Set, both flowing through
+// the registry exactly like single-host scenario results.
+type Result struct {
+	Spec    Spec
+	Policy  string
+	Apps    []scenario.AppMeasure
+	Metrics metrics.Set
+	// Fleet keeps the full simulation state for tests and diagnostics.
+	Fleet *Fleet
+}
+
+// Run executes the fleet spec. It panics on an invalid spec (the sweep
+// spec-file layer validates at parse time; the sweep executor converts
+// panics into run errors).
+func Run(spec Spec, opts Options) *Result {
+	vms, err := spec.GenVMs()
+	if err != nil {
+		panic(err.Error())
+	}
+	sp := spec.withDefaults()
+	newPol := opts.NewPolicy
+	if newPol == nil {
+		newPol = func() scenario.Policy { return baselines.XenDefault{} }
+	}
+
+	f := &Fleet{
+		Spec:            sp,
+		Tenants:         sp.Tenants,
+		warmup:          sp.Warmup,
+		end:             sp.Warmup + sp.Measure,
+		tenantCommitted: make([]int, len(sp.Tenants)),
+		tenantAttained:  make([]float64, len(sp.Tenants)),
+		tenantShares:    make([][]float64, len(sp.Tenants)),
+	}
+	f.placer, err = PlacementByName(sp.Placement)
+	if err != nil {
+		panic(err.Error())
+	}
+
+	capacity := int(math.Round(float64(sp.Topo.TotalPCPUs()) * sp.OverSub))
+	if capacity < 1 {
+		capacity = 1
+	}
+	var polName string
+	for i := 0; i < sp.Hosts; i++ {
+		// Every host owns an independent seed forked from the run seed
+		// by its ID, and a deploy RNG split exactly like scenario.Run's.
+		hostSeed := sim.NewRNG(sp.Seed).Fork(0xF1E7 + uint64(i)).Uint64()
+		topo := *sp.Topo // fresh copy: hosts must not share cache models
+		hyp := xen.New(&topo, credit.New(), hostSeed)
+		pol := newPol()
+		pol.Setup(hyp, nil)
+		polName = pol.Name()
+		f.Hosts = append(f.Hosts, &Host{
+			ID:        i,
+			Hyp:       hyp,
+			Pol:       pol,
+			deployRNG: sim.NewRNG(hostSeed + 0x9e37),
+			capacity:  capacity,
+		})
+	}
+
+	for i := range vms {
+		vm := &VM{ID: i, VMSpec: vms[i]}
+		f.VMs = append(f.VMs, vm)
+		f.push(vm.ArriveAt, evArrive, vm, nil, nil)
+	}
+	f.push(f.warmup, evMeasureStart, nil, nil, nil)
+	for t := sp.Rebalance.Every; t < f.end; t += sp.Rebalance.Every {
+		f.push(t, evTick, nil, nil, nil)
+	}
+
+	for len(f.heap) > 0 {
+		e := f.pop()
+		if e.at > f.end {
+			break
+		}
+		f.handle(e)
+	}
+	for _, h := range f.Hosts {
+		h.advance(f.end)
+	}
+	for _, vm := range f.VMs {
+		if vm.Placed && !vm.Gone {
+			f.settle(vm, f.end)
+			f.vmSeconds += float64(vm.VCPUs()) * seconds(f.end-vm.PlacedAt)
+		}
+	}
+
+	return f.collect(polName)
+}
+
+func (f *Fleet) handle(e event) {
+	switch e.kind {
+	case evArrive:
+		f.pending = append(f.pending, e.vm)
+		f.drain(e.at)
+
+	case evMeasureStart:
+		// One global barrier: every host advances to the window edge so
+		// attained-time watermarks are read at one consistent instant.
+		for _, h := range f.Hosts {
+			h.advance(e.at)
+		}
+		for _, vm := range f.VMs {
+			if vm.Placed && !vm.Gone {
+				vm.baseRun = f.attained(vm, e.at)
+			}
+		}
+
+	case evTick:
+		f.rebalance(e.at)
+		if e.at >= f.warmup {
+			f.imbSum += f.imbalance()
+			f.imbN++
+		}
+
+	case evDepart:
+		vm := e.vm
+		if vm.Gone {
+			return
+		}
+		h := vm.host
+		h.advance(e.at)
+		h.Hyp.DestroyDomain(vm.dep.Dom, e.at)
+		f.settle(vm, e.at)
+		f.vmSeconds += float64(vm.VCPUs()) * seconds(e.at-vm.PlacedAt)
+		vm.Gone = true
+		h.committed -= vm.VCPUs()
+		f.tenantCommitted[vm.Tenant] -= vm.VCPUs()
+		removeVM(h, vm)
+		// A departure mid-migration leaves the destination reservation
+		// in place; the migration-done event releases it as an abort.
+		f.drain(e.at)
+
+	case evMigDone:
+		vm, src, dst := e.vm, e.src, e.dst
+		dst.reserved -= vm.VCPUs()
+		if vm.Gone {
+			// Torn down in flight: release the reservation, nothing moved.
+			dst.committed -= vm.VCPUs()
+			f.aborted++
+			f.drain(e.at)
+			return
+		}
+		vm.migrating = false
+		src.advance(e.at)
+		dst.advance(e.at)
+		src.Hyp.DestroyDomain(vm.dep.Dom, e.at)
+		vm.runCarried = f.attained(vm, e.at)
+		src.committed -= vm.VCPUs()
+		removeVM(src, vm)
+		vm.host = dst
+		dst.vms = append(dst.vms, vm)
+		vm.dep = workload.Deploy(dst.Hyp, vm.App, fmt.Sprintf("v%d", vm.ID), dst.deployRNG)
+		f.migrations++
+		f.drain(e.at)
+	}
+}
+
+// drain admits pending VMs until the placement policy cannot (or will
+// not) place anything else.
+func (f *Fleet) drain(now sim.Time) {
+	for len(f.pending) > 0 {
+		vi, h, ok := f.placer.Choose(f, f.pending)
+		if !ok {
+			return
+		}
+		vm := f.pending[vi]
+		f.pending = append(f.pending[:vi], f.pending[vi+1:]...)
+		f.place(vm, h, now)
+	}
+}
+
+func (f *Fleet) place(vm *VM, h *Host, now sim.Time) {
+	h.advance(now)
+	h.committed += vm.VCPUs()
+	f.tenantCommitted[vm.Tenant] += vm.VCPUs()
+	vm.host = h
+	vm.Placed = true
+	vm.PlacedAt = now
+	h.vms = append(h.vms, vm)
+	vm.dep = workload.Deploy(h.Hyp, vm.App, fmt.Sprintf("v%d", vm.ID), h.deployRNG)
+	f.placements++
+	f.waitSum += now - vm.ArriveAt
+	if vm.Lifetime > 0 {
+		f.push(now+vm.Lifetime, evDepart, vm, nil, nil)
+	}
+}
+
+// rebalance initiates up to MaxPerTick live migrations from the most to
+// the least loaded host while the load gap exceeds the threshold and a
+// move would strictly shrink the pair's worse load (no oscillation).
+func (f *Fleet) rebalance(now sim.Time) {
+	for n := 0; n < f.Spec.Rebalance.MaxPerTick; n++ {
+		var src, dst *Host
+		for _, h := range f.Hosts {
+			if src == nil || h.Load() > src.Load() {
+				src = h
+			}
+			if dst == nil || h.Load() < dst.Load() {
+				dst = h
+			}
+		}
+		if src == nil || dst == nil || src == dst {
+			return
+		}
+		gap := src.Load() - dst.Load()
+		if gap <= f.Spec.Rebalance.Threshold {
+			return
+		}
+		var vm *VM
+		for _, c := range src.vms {
+			if c.migrating || c.Gone || !fits(dst, c.VCPUs()) {
+				continue
+			}
+			after := math.Max(
+				src.Load()-float64(c.VCPUs())/float64(src.capacity),
+				dst.Load()+float64(c.VCPUs())/float64(dst.capacity),
+			)
+			if after < src.Load() {
+				vm = c
+				break
+			}
+		}
+		if vm == nil {
+			return
+		}
+		vm.migrating = true
+		dst.committed += vm.VCPUs()
+		dst.reserved += vm.VCPUs()
+		f.push(now+f.Spec.Rebalance.MigrationTime, evMigDone, vm, src, dst)
+	}
+}
+
+// imbalance is the coefficient of variation of host admission loads.
+func (f *Fleet) imbalance() float64 {
+	mean := 0.0
+	for _, h := range f.Hosts {
+		mean += h.Load()
+	}
+	mean /= float64(len(f.Hosts))
+	if mean == 0 {
+		return 0
+	}
+	ss := 0.0
+	for _, h := range f.Hosts {
+		d := h.Load() - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(f.Hosts))) / mean
+}
+
+// attained is the VM's total attained vCPU execution time: runtime
+// carried from previous hosts plus the current deployment's, including
+// the in-flight slice of currently running vCPUs. The caller must have
+// advanced the VM's host to now.
+func (f *Fleet) attained(vm *VM, now sim.Time) sim.Time {
+	att := vm.runCarried
+	if vm.dep != nil {
+		for _, v := range vm.dep.Dom.VCPUs {
+			att += v.RunTime + v.RanFor(now)
+		}
+	}
+	return att
+}
+
+// settle folds the VM's measurement-window attainment into its tenant's
+// accumulators. Called exactly once per placed VM, at departure or run
+// end; VMs that departed before the window contribute nothing.
+func (f *Fleet) settle(vm *VM, now sim.Time) {
+	if now <= f.warmup {
+		return
+	}
+	start := vm.PlacedAt
+	if start < f.warmup {
+		start = f.warmup
+	}
+	dur := now - start
+	if dur <= 0 {
+		return
+	}
+	att := seconds(f.attained(vm, now) - vm.baseRun)
+	f.tenantAttained[vm.Tenant] += att
+	share := att / (float64(vm.VCPUs()) * seconds(dur))
+	f.tenantShares[vm.Tenant] = append(f.tenantShares[vm.Tenant], share)
+}
+
+func (f *Fleet) collect(polName string) *Result {
+	res := &Result{Spec: f.Spec, Policy: polName, Fleet: f}
+	total := 0.0
+	for _, a := range f.tenantAttained {
+		total += a
+	}
+	for i, t := range f.Tenants {
+		m := scenario.AppMeasure{
+			Name:      "tenant:" + t.Name,
+			Expected:  vcputype.None,
+			Instances: len(f.tenantShares[i]),
+		}
+		m.Metrics.Put(MTenantVCPUSeconds, f.tenantAttained[i])
+		if total > 0 {
+			m.Metrics.Put(MTenantShare, f.tenantAttained[i]/total)
+		}
+		if j, ok := metrics.Jain(f.tenantShares[i]); ok {
+			m.Metrics.Put(scenario.MFairnessJain, j)
+		}
+		res.Apps = append(res.Apps, m)
+	}
+
+	res.Metrics.Put(MHosts, float64(len(f.Hosts)))
+	res.Metrics.Put(MPlacements, float64(f.placements))
+	res.Metrics.Put(MUnplaced, float64(len(f.pending)))
+	if f.placements > 0 {
+		res.Metrics.Put(MPlacementWait, float64(f.waitSum)/float64(f.placements))
+	}
+	res.Metrics.Put(MMigrations, float64(f.migrations))
+	res.Metrics.Put(MMigrationsAborted, float64(f.aborted))
+	if f.imbN > 0 {
+		res.Metrics.Put(MUtilImbalance, f.imbSum/float64(f.imbN))
+	}
+	weighted := make([]float64, len(f.Tenants))
+	for i, t := range f.Tenants {
+		weighted[i] = f.tenantAttained[i] / t.Weight
+	}
+	if j, ok := metrics.Jain(weighted); ok {
+		res.Metrics.Put(MTenantJain, j)
+	}
+	res.Metrics.Put(MVMSeconds, f.vmSeconds)
+	return res
+}
+
+// CheckInvariants verifies the fleet's admission bookkeeping; tests
+// call it after (and during) runs. It returns the first violation.
+func (f *Fleet) CheckInvariants() error {
+	for _, h := range f.Hosts {
+		resident := 0
+		for _, vm := range h.vms {
+			if vm.Gone {
+				return fmt.Errorf("host %d holds departed VM %d", h.ID, vm.ID)
+			}
+			if vm.host != h {
+				return fmt.Errorf("VM %d resident on host %d but points at another host", vm.ID, h.ID)
+			}
+			resident += vm.VCPUs()
+		}
+		if h.committed != resident+h.reserved {
+			return fmt.Errorf("host %d committed %d != resident %d + reserved %d",
+				h.ID, h.committed, resident, h.reserved)
+		}
+		if h.committed < 0 || h.committed > h.capacity {
+			return fmt.Errorf("host %d committed %d outside [0, %d]", h.ID, h.committed, h.capacity)
+		}
+	}
+	for _, vm := range f.pending {
+		if vm.Placed || vm.Gone {
+			return fmt.Errorf("pending VM %d already placed or gone", vm.ID)
+		}
+	}
+	want := make([]int, len(f.Tenants))
+	for _, vm := range f.VMs {
+		if vm.Placed && !vm.Gone {
+			want[vm.Tenant] += vm.VCPUs()
+		}
+	}
+	for i := range want {
+		if f.tenantCommitted[i] != want[i] {
+			return fmt.Errorf("tenant %d committed %d, want %d", i, f.tenantCommitted[i], want[i])
+		}
+	}
+	return nil
+}
+
+// Pending lists the VMs still waiting for placement.
+func (f *Fleet) Pending() []*VM { return f.pending }
+
+// Migrations reports completed live migrations.
+func (f *Fleet) Migrations() int { return f.migrations }
+
+// Aborted reports migrations aborted by in-flight teardown.
+func (f *Fleet) Aborted() int { return f.aborted }
+
+// Placements reports completed VM placements.
+func (f *Fleet) Placements() int { return f.placements }
+
+func removeVM(h *Host, vm *VM) {
+	for i, x := range h.vms {
+		if x == vm {
+			h.vms = append(h.vms[:i], h.vms[i+1:]...)
+			return
+		}
+	}
+}
+
+func seconds(t sim.Time) float64 { return float64(t) / float64(sim.Second) }

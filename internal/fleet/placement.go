@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"aqlsched/internal/catalog"
+)
+
+// Placement decides which pending VM is admitted next and onto which
+// host. Choose inspects the fleet read-only and returns the index into
+// pending plus the target host; ok=false when nothing can be placed
+// right now (the fleet retries whenever capacity frees up). Choices
+// must be pure functions of fleet state — no randomness, no wall clock
+// — so fleet runs stay bit-identical at any worker count.
+type Placement interface {
+	Name() string
+	Choose(f *Fleet, pending []*VM) (vmIdx int, host *Host, ok bool)
+}
+
+// Placements is the placement-policy registry, the fleet's axis in the
+// catalog: spec files validate "placement" entries against it and
+// aqlsweep -list prints it alongside the quantum-policy grammar.
+var Placements = catalog.NewRegistry[func() Placement]("placement")
+
+func init() {
+	Placements.Register("least-loaded", func() Placement { return leastLoaded{} })
+	Placements.Register("bin-pack", func() Placement { return binPack{} })
+	Placements.Register("tenant-fairshare", func() Placement { return fairShare{} })
+	catalog.RegisterAxis("placements", Placements.Names)
+}
+
+// PlacementByName resolves a placement policy, with the registry's
+// clean unknown-name error for user-supplied spec files.
+func PlacementByName(name string) (Placement, error) {
+	f, err := Placements.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(), nil
+}
+
+// fits reports whether host h can admit demand more vCPUs.
+func fits(h *Host, demand int) bool { return h.Committed()+demand <= h.Capacity() }
+
+// bestHost scans hosts in ID order and returns the one minimizing (or,
+// with pack=true, maximizing) admission load among those that fit.
+// Strict inequality on the comparison keeps ties on the lowest ID.
+func bestHost(f *Fleet, demand int, pack bool) *Host {
+	var best *Host
+	var bestLoad float64
+	for _, h := range f.Hosts {
+		if !fits(h, demand) {
+			continue
+		}
+		l := h.Load()
+		if best == nil || (pack && l > bestLoad) || (!pack && l < bestLoad) {
+			best, bestLoad = h, l
+		}
+	}
+	return best
+}
+
+// leastLoaded admits strictly in arrival order (no overtaking: a big VM
+// at the head blocks smaller ones behind it, which is what keeps the
+// policy starvation-free) and spreads onto the least-loaded fitting
+// host.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return "least-loaded" }
+
+func (leastLoaded) Choose(f *Fleet, pending []*VM) (int, *Host, bool) {
+	if len(pending) == 0 {
+		return 0, nil, false
+	}
+	h := bestHost(f, pending[0].VCPUs(), false)
+	if h == nil {
+		return 0, nil, false
+	}
+	return 0, h, true
+}
+
+// binPack admits in arrival order but packs onto the most-loaded host
+// that still fits, concentrating load so whole hosts stay empty — the
+// classic consolidation/imbalance trade-off against least-loaded.
+type binPack struct{}
+
+func (binPack) Name() string { return "bin-pack" }
+
+func (binPack) Choose(f *Fleet, pending []*VM) (int, *Host, bool) {
+	if len(pending) == 0 {
+		return 0, nil, false
+	}
+	h := bestHost(f, pending[0].VCPUs(), true)
+	if h == nil {
+		return 0, nil, false
+	}
+	return 0, h, true
+}
+
+// fairShare admits the most underserved tenant first: tenants are
+// ordered by committed vCPUs over weight (their current share deficit),
+// and the winner's oldest pending VM goes to the least-loaded fitting
+// host. When that VM fits nowhere, the next tenant in deficit order
+// gets its turn — small VMs of a less-deficient tenant may overtake a
+// blocked large one, trading strict FIFO for share convergence.
+type fairShare struct{}
+
+func (fairShare) Name() string { return "tenant-fairshare" }
+
+func (fairShare) Choose(f *Fleet, pending []*VM) (int, *Host, bool) {
+	type cand struct {
+		tenant  int
+		deficit float64
+		vmIdx   int
+	}
+	var cands []cand
+	seen := make(map[int]bool, len(f.Tenants))
+	for i, vm := range pending {
+		if seen[vm.Tenant] {
+			continue
+		}
+		seen[vm.Tenant] = true
+		w := f.Tenants[vm.Tenant].Weight
+		cands = append(cands, cand{
+			tenant:  vm.Tenant,
+			deficit: float64(f.tenantCommitted[vm.Tenant]) / w,
+			vmIdx:   i,
+		})
+	}
+	// Stable selection order: lowest committed-per-weight first, tenant
+	// index breaking ties.
+	for len(cands) > 0 {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].deficit < cands[best].deficit ||
+				(cands[i].deficit == cands[best].deficit && cands[i].tenant < cands[best].tenant) {
+				best = i
+			}
+		}
+		c := cands[best]
+		if h := bestHost(f, pending[c.vmIdx].VCPUs(), false); h != nil {
+			return c.vmIdx, h, true
+		}
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	return 0, nil, false
+}

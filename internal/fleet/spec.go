@@ -1,0 +1,319 @@
+// Package fleet scales the paper's single-host simulation out to a
+// simulated datacenter: N hosts, each wrapping its own topology,
+// hypervisor and scheduling policy, run under one fleet-level simulated
+// clock. VM arrivals are placed onto hosts by pluggable placement
+// policies, and a rebalancer live-migrates VMs between hosts when the
+// admission-load imbalance crosses a threshold.
+//
+// Determinism is inherited from the layers below and preserved at the
+// merge points: every cross-host event (arrival, departure, migration
+// completion, rebalance tick) lives on one central timeline ordered by
+// (time, sequence), hosts advance their private engines only to event
+// times that concern them, and every random draw forks from either the
+// population seed (the VM timeline) or the run seed (per-host
+// simulation) by fixed labels. The same Spec therefore produces
+// bit-identical results for any sweep worker count.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aqlsched/internal/hw"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/workload"
+)
+
+// Tenant is one proportional-share owner of fleet VMs. Weights drive
+// both the tenant-fairshare placement policy and the per-tenant
+// fairness metrics.
+type Tenant struct {
+	Name   string
+	Weight float64
+}
+
+// Rebalance parameterizes the live-migration trigger: every Every the
+// fleet compares host admission loads (committed vCPUs over capacity)
+// and, while the max-min gap exceeds Threshold, moves one fitting VM
+// from the most to the least loaded host. A migration holds capacity on
+// both hosts for MigrationTime before completing.
+type Rebalance struct {
+	// Every is the tick period (default 250 ms).
+	Every sim.Time
+	// Threshold is the load-fraction gap that triggers a migration
+	// (default 0.25; set ≥ 1 to disable migrations in a fully packed
+	// fleet).
+	Threshold float64
+	// MigrationTime models the live-migration transfer (default 40 ms).
+	MigrationTime sim.Time
+	// MaxPerTick bounds migrations initiated per tick (default 2).
+	MaxPerTick int
+}
+
+func (r Rebalance) withDefaults() Rebalance {
+	if r.Every <= 0 {
+		r.Every = 250 * sim.Millisecond
+	}
+	if r.Threshold == 0 {
+		r.Threshold = 0.25
+	}
+	if r.MigrationTime <= 0 {
+		r.MigrationTime = 40 * sim.Millisecond
+	}
+	if r.MaxPerTick <= 0 {
+		r.MaxPerTick = 2
+	}
+	return r
+}
+
+// VMSpec is one VM on the fleet timeline: when it arrives, what it
+// runs, whom it belongs to, and how long it lives once placed.
+type VMSpec struct {
+	// ArriveAt is when the VM enters the placement queue (0 = initial
+	// population, admitted at simulation start in slice order).
+	ArriveAt sim.Time
+	// Lifetime, when positive, tears the VM down that long after
+	// placement (not after arrival: a VM that waited in the queue still
+	// gets its full lifetime).
+	Lifetime sim.Time
+	// Tenant indexes Spec.Tenants.
+	Tenant int
+	// App is the workload the VM runs.
+	App workload.AppSpec
+}
+
+// VCPUs reports the VM's vCPU demand (the admission unit).
+func (v VMSpec) VCPUs() int { return scenario.VCPUsOf(v.App) }
+
+// Spec describes a fleet run: the machines, the VM population and
+// churn, the placement policy and the rebalancer. Like the scenario
+// generator, the VM timeline is a pure function of GenSeed — identical
+// across seed replications, so baseline normalization pairs runs over
+// the same population — while Seed drives the per-host simulations and
+// varies per run.
+type Spec struct {
+	Name string
+	// Hosts is the number of hosts (≥ 1).
+	Hosts int
+	// Topo is the per-host machine (nil = i7-3770). Every host runs a
+	// fresh copy.
+	Topo *hw.Topology
+	// OverSub is the admission ratio: each host accepts up to
+	// TotalPCPUs · OverSub vCPUs (default 3).
+	OverSub float64
+	// Placement names the placement policy (default "least-loaded").
+	Placement string
+	// Tenants lists the VM owners (default one tenant "t0", weight 1).
+	Tenants []Tenant
+	// VCPUs is the initial population's vCPU budget across the fleet.
+	VCPUs int
+	// Mix weights the generated VM types (required unless Explicit is
+	// set).
+	Mix map[string]float64
+	// Gen bounds the per-type knob draws (nil = workload defaults).
+	Gen *workload.GenConfig
+	// Churn adds Poisson VM arrivals with exponential lifetimes, drawn
+	// from GenSeed exactly like the scenario generator's churn.
+	Churn *scenario.ChurnSpec
+	// Rebalance parameterizes the migration trigger.
+	Rebalance Rebalance
+	// Warmup and Measure window the run (defaults 500 ms / 1 s).
+	Warmup  sim.Time
+	Measure sim.Time
+	// Seed is the per-run simulation seed (sweeps override it per run).
+	Seed uint64
+	// GenSeed drives the population draws (default: Seed of the spec as
+	// written — sweeps leave it alone so replications share the
+	// population).
+	GenSeed uint64
+	// Explicit, when non-empty, is the exact VM timeline (tests and
+	// hand-authored fleets); no population is generated and Mix/VCPUs/
+	// Churn are ignored.
+	Explicit []VMSpec
+}
+
+func (s *Spec) withDefaults() Spec {
+	out := *s
+	if out.Topo == nil {
+		out.Topo = hw.I73770()
+	}
+	if out.OverSub == 0 {
+		out.OverSub = 3
+	}
+	if out.Placement == "" {
+		out.Placement = "least-loaded"
+	}
+	if len(out.Tenants) == 0 {
+		out.Tenants = []Tenant{{Name: "t0", Weight: 1}}
+	}
+	if out.Warmup == 0 {
+		out.Warmup = 500 * sim.Millisecond
+	}
+	if out.Measure == 0 {
+		out.Measure = 1 * sim.Second
+	}
+	if out.GenSeed == 0 {
+		out.GenSeed = out.Seed
+	}
+	out.Rebalance = out.Rebalance.withDefaults()
+	return out
+}
+
+// Validate reports an error for an unrunnable fleet spec. The sweep
+// spec-file layer calls it (plus a trial GenVMs) at parse time, so a
+// bad fleet block fails the load, not the run.
+func (s *Spec) Validate() error {
+	name := s.Name
+	if name == "" {
+		name = "fleet"
+	}
+	if s.Hosts < 1 {
+		return fmt.Errorf("fleet %q: needs at least one host, got %d", name, s.Hosts)
+	}
+	if s.Topo != nil {
+		if err := s.Topo.Validate(); err != nil {
+			return fmt.Errorf("fleet %q: %v", name, err)
+		}
+	}
+	if s.OverSub < 0 || math.IsNaN(s.OverSub) || math.IsInf(s.OverSub, 0) {
+		return fmt.Errorf("fleet %q: over-subscription ratio %v must be positive", name, s.OverSub)
+	}
+	if p := s.Placement; p != "" && !Placements.Has(p) {
+		return fmt.Errorf("fleet %q: unknown placement policy %q (known: %v)", name, p, Placements.Names())
+	}
+	seen := map[string]bool{}
+	for i, t := range s.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("fleet %q: tenant %d has no name", name, i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("fleet %q: duplicate tenant %q", name, t.Name)
+		}
+		seen[t.Name] = true
+		if t.Weight <= 0 || math.IsNaN(t.Weight) || math.IsInf(t.Weight, 0) {
+			return fmt.Errorf("fleet %q: tenant %q weight %v must be positive and finite", name, t.Name, t.Weight)
+		}
+	}
+	if len(s.Explicit) > 0 {
+		nt := len(s.Tenants)
+		if nt == 0 {
+			nt = 1 // the default tenant
+		}
+		for i, v := range s.Explicit {
+			if v.Tenant < 0 || v.Tenant >= nt {
+				return fmt.Errorf("fleet %q: explicit VM %d references tenant %d of %d", name, i, v.Tenant, nt)
+			}
+			if v.ArriveAt < 0 || v.Lifetime < 0 {
+				return fmt.Errorf("fleet %q: explicit VM %d has a negative arrival or lifetime", name, i)
+			}
+		}
+		return nil
+	}
+	if s.VCPUs < 1 {
+		return fmt.Errorf("fleet %q: initial population vCPU budget must be ≥ 1, got %d", name, s.VCPUs)
+	}
+	if _, err := scenario.ParseMix(s.Mix); err != nil {
+		return fmt.Errorf("fleet %q: %v", name, err)
+	}
+	if c := s.Churn; c != nil {
+		// Reuse the generator's churn validation via a minimal GenSpec.
+		probe := scenario.GenSpec{Name: name, VCPUs: s.VCPUs, Churn: c}
+		probe.Mix, _ = scenario.ParseMix(s.Mix)
+		if err := probe.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenVMs expands the spec into its VM timeline, sorted by arrival (the
+// initial population first, in draw order). It is a pure function of
+// the spec and GenSeed.
+func (s *Spec) GenVMs() ([]VMSpec, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sp := s.withDefaults()
+	if len(sp.Explicit) > 0 {
+		out := append([]VMSpec(nil), sp.Explicit...)
+		sort.SliceStable(out, func(i, j int) bool { return out[i].ArriveAt < out[j].ArriveAt })
+		return out, nil
+	}
+
+	mix, err := scenario.ParseMix(sp.Mix)
+	if err != nil {
+		return nil, err
+	}
+	cfg := workload.DefaultGenConfig()
+	if sp.Gen != nil {
+		cfg = *sp.Gen
+	}
+	topo := *sp.Topo // drawers size working sets off a private copy
+	md := scenario.NewMixDrawer(mix, cfg, &topo)
+
+	// Tenant weights, cumulative in declaration order.
+	var tcum []float64
+	ttotal := 0.0
+	for _, t := range sp.Tenants {
+		ttotal += t.Weight
+		tcum = append(tcum, ttotal)
+	}
+	drawTenant := func(rng *sim.RNG) int {
+		u := rng.Float64() * ttotal
+		for i, c := range tcum {
+			if u < c {
+				return i
+			}
+		}
+		return len(tcum) - 1
+	}
+
+	var out []VMSpec
+	// Initial population: the same fork label the scenario generator
+	// uses for standing populations.
+	prng := sim.NewRNG(sp.GenSeed).Fork(0x5CE0)
+	budget := sp.VCPUs
+	for i := 0; budget > 0; i++ {
+		tenant := drawTenant(prng)
+		app := md.Draw(prng, uint64(i))
+		if app.Kind == workload.KindLock && app.Threads > budget {
+			app.Threads = budget
+		}
+		app.Name = fmt.Sprintf("%s-%02d", app.Name, i)
+		budget -= scenario.VCPUsOf(app)
+		out = append(out, VMSpec{Tenant: tenant, App: app})
+	}
+
+	// Churn: Poisson arrivals with exponential lifetimes from the
+	// generator's churn fork label — adding churn never perturbs the
+	// standing population's draws.
+	if sp.Churn != nil {
+		c := *sp.Churn
+		if c.Start == 0 {
+			c.Start = 50 * sim.Millisecond
+		}
+		if c.MinLifetime == 0 {
+			c.MinLifetime = 200 * sim.Millisecond
+		}
+		crng := sim.NewRNG(sp.GenSeed).Fork(0xC4A2)
+		meanInter := sim.Time(float64(sim.Second) / c.Rate)
+		at := c.Start
+		for k := 0; c.MaxVMs == 0 || k < c.MaxVMs; k++ {
+			at += crng.ExpTime(meanInter)
+			if at >= c.Horizon {
+				break
+			}
+			tenant := drawTenant(crng)
+			app := md.Draw(crng, uint64(k)+0x11)
+			app.Name = fmt.Sprintf("chn%02d-%s", k, app.Name)
+			life := crng.ExpTime(c.MeanLifetime)
+			if life < c.MinLifetime {
+				life = c.MinLifetime
+			}
+			out = append(out, VMSpec{ArriveAt: at, Lifetime: life, Tenant: tenant, App: app})
+		}
+	}
+	return out, nil
+}

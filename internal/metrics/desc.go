@@ -199,7 +199,13 @@ func (s *Set) Put(d Desc, v float64) {
 		panic(fmt.Sprintf("metrics: Put of unregistered metric %q", d.Name))
 	}
 	if s.vals == nil {
-		s.vals = map[string]float64{}
+		// Presized for the typical probe footprint: measurement sets
+		// carry a handful of metrics, and growing a map bucket-by-bucket
+		// showed up as a measurable slice of the allocation profile.
+		s.vals = make(map[string]float64, 8)
+		if s.names == nil {
+			s.names = make([]string, 0, 8)
+		}
 	}
 	if _, dup := s.vals[d.Name]; !dup {
 		s.names = append(s.names, d.Name)

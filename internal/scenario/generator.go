@@ -105,9 +105,63 @@ func ParseMix(m map[string]float64) (map[vcputype.Type]float64, error) {
 	return out, nil
 }
 
-// vcpusOf reports how many vCPUs one VM of the app consumes (its thread
-// count for lock applications, 1 otherwise — mirroring Deploy).
-func vcpusOf(s workload.AppSpec) int {
+// MixDrawer draws synthetic applications from a weighted vCPU-type mix.
+// It is the reusable core of the generator's drawApp (and of the fleet
+// generator, which synthesizes per-host VM populations the same way):
+// cumulative weights in the taxonomy's fixed order, one Float64 per type
+// draw, one Fork per VM — so the draw sequence is a pure function of
+// the RNG stream and never of map iteration order.
+type MixDrawer struct {
+	types []vcputype.Type
+	cum   []float64
+	total float64
+	cfg   workload.GenConfig
+	topo  *hw.Topology
+}
+
+// NewMixDrawer prepares a drawer over mix (weights need not sum to 1;
+// types absent from the map are never drawn). cfg bounds the per-type
+// knob draws; topo sizes cache working sets.
+func NewMixDrawer(mix map[vcputype.Type]float64, cfg workload.GenConfig, topo *hw.Topology) *MixDrawer {
+	m := &MixDrawer{cfg: cfg, topo: topo}
+	for _, t := range vcputype.All() {
+		if w, ok := mix[t]; ok {
+			m.total += w
+			m.types = append(m.types, t)
+			m.cum = append(m.cum, m.total)
+		}
+	}
+	return m
+}
+
+// Empty reports whether the mix has no drawable types.
+func (m *MixDrawer) Empty() bool { return len(m.types) == 0 }
+
+// DrawType draws one vCPU type, consuming exactly one Float64.
+func (m *MixDrawer) DrawType(rng *sim.RNG) vcputype.Type {
+	u := rng.Float64() * m.total
+	typ := m.types[len(m.types)-1]
+	for j, c := range m.cum {
+		if u < c {
+			typ = m.types[j]
+			break
+		}
+	}
+	return typ
+}
+
+// Draw synthesizes one VM's application: a type draw from rng followed
+// by knob draws from rng's fork labelled label (the generator's exact
+// per-VM stream split).
+func (m *MixDrawer) Draw(rng *sim.RNG, label uint64) workload.AppSpec {
+	typ := m.DrawType(rng)
+	return m.cfg.Synthesize(rng.Fork(label), typ, m.topo)
+}
+
+// VCPUsOf reports how many vCPUs one VM of the app consumes (its thread
+// count for lock applications, 1 otherwise — mirroring Deploy). The
+// generator and the fleet layer budget populations with it.
+func VCPUsOf(s workload.AppSpec) int {
 	if s.Kind == workload.KindLock {
 		if s.Threads > 0 {
 			return s.Threads
@@ -116,6 +170,8 @@ func vcpusOf(s workload.AppSpec) int {
 	}
 	return 1
 }
+
+func vcpusOf(s workload.AppSpec) int { return VCPUsOf(s) }
 
 // Validate reports an error for an unexpandable generator spec.
 func (g *GenSpec) Validate() error {
@@ -217,16 +273,7 @@ func (g *GenSpec) Generate() (Spec, error) {
 
 	// Cumulative weights in the taxonomy's fixed order — map iteration
 	// order must never leak into the draw sequence.
-	var types []vcputype.Type
-	var cum []float64
-	total := 0.0
-	for _, t := range vcputype.All() {
-		if w, ok := g.Mix[t]; ok {
-			total += w
-			types = append(types, t)
-			cum = append(cum, total)
-		}
-	}
+	md := NewMixDrawer(g.Mix, cfg, topo)
 
 	var apps []Entry
 	budget := g.VCPUs
@@ -245,18 +292,11 @@ func (g *GenSpec) Generate() (Spec, error) {
 	// sequence, so existing generated scenarios stay byte-identical.
 	drawApp := func(rng *sim.RNG, label uint64) workload.AppSpec {
 		var typ vcputype.Type
-		if len(types) > 0 {
-			u := rng.Float64() * total
-			typ = types[len(types)-1]
-			for j, c := range cum {
-				if u < c {
-					typ = types[j]
-					break
-				}
-			}
+		if !md.Empty() {
+			typ = md.DrawType(rng)
 		}
 		vrng := rng.Fork(label)
-		if len(g.Phases) > 0 && (len(types) == 0 || rng.Float64() < phaseProb) {
+		if len(g.Phases) > 0 && (md.Empty() || rng.Float64() < phaseProb) {
 			ph := cfg.SynthesizePhases(vrng, g.Phases, topo)
 			var cycle sim.Time
 			for _, p := range ph {

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"aqlsched/internal/catalog"
+	"aqlsched/internal/fleet"
 	"aqlsched/internal/hw"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
@@ -25,7 +26,7 @@ func ScenarioByName(name string) (Scenario, error) {
 	if err != nil {
 		return Scenario{}, err
 	}
-	return Scenario(sc), nil
+	return Scenario{Name: sc.Name, New: sc.New}, nil
 }
 
 // PolicyByName resolves a policy axis point from the catalog grammar:
@@ -109,6 +110,11 @@ type ScenarioRef struct {
 	Topology string `json:"topology,omitempty"`
 	// Gen generates the scenario instead of naming one.
 	Gen *GenBlock `json:"gen,omitempty"`
+	// Fleet declares a multi-host fleet scenario. A fleet entry with
+	// several placement policies expands into one axis point per
+	// placement ("<name>+<placement>"), so placements sweep like any
+	// other axis.
+	Fleet *FleetBlock `json:"fleet,omitempty"`
 }
 
 // Ref wraps a catalog scenario name for Go-constructed Files.
@@ -189,6 +195,65 @@ type ChurnBlock struct {
 	MaxVMs     int     `json:"max_vms,omitempty"`
 }
 
+// FleetBlock parameterizes a multi-host fleet scenario (see
+// fleet.Spec): the host count and machine, the admission ratio, one or
+// more placement policies, tenant weights, the generated VM population
+// with optional churn, and the rebalancer.
+type FleetBlock struct {
+	// Name labels the axis point(s) (default "fleet<i>-<hosts>h").
+	Name string `json:"name,omitempty"`
+	// Hosts is the number of hosts (required, ≥ 1).
+	Hosts int `json:"hosts"`
+	// Topology names the per-host machine (file-local or registered;
+	// default "i7-3770").
+	Topology string `json:"topology,omitempty"`
+	// OverSub is the per-host admission ratio (default 3).
+	OverSub float64 `json:"oversub,omitempty"`
+	// Placement lists the placement policies to sweep; a bare string is
+	// accepted for a single policy (default "least-loaded").
+	Placement PlacementList `json:"placement,omitempty"`
+	// Tenants maps tenant names to proportional-share weights (default
+	// one tenant "t0" with weight 1). Names are sorted for a
+	// deterministic tenant order.
+	Tenants map[string]float64 `json:"tenants,omitempty"`
+	// VCPUs is the initial population's vCPU budget across the fleet
+	// (required).
+	VCPUs int `json:"vcpus"`
+	// Mix weights the generated VM types by name (required).
+	Mix map[string]float64 `json:"mix,omitempty"`
+	// Churn adds Poisson VM arrivals with exponential lifetimes.
+	Churn *ChurnBlock `json:"churn,omitempty"`
+	// Rebalance parameterizes the live-migration trigger.
+	Rebalance *RebalanceBlock `json:"rebalance,omitempty"`
+	// Seed drives the population draws (default: the file's base seed),
+	// independent of the per-run simulation seeds.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// RebalanceBlock is the spec-file form of fleet.Rebalance.
+type RebalanceBlock struct {
+	EveryMS     int64   `json:"every_ms,omitempty"`
+	Threshold   float64 `json:"threshold,omitempty"`
+	MigrationMS int64   `json:"migration_ms,omitempty"`
+	MaxPerTick  int     `json:"max_per_tick,omitempty"`
+}
+
+// PlacementList accepts either a JSON string or a list of strings.
+type PlacementList []string
+
+// UnmarshalJSON implements the string-or-list form.
+func (p *PlacementList) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		*p = PlacementList{s}
+		return nil
+	}
+	return json.Unmarshal(data, (*[]string)(p))
+}
+
 // Parse turns raw spec-file JSON into a runnable Spec. Unknown keys are
 // rejected: a typo ("llcmb" for "llc_mb") must fail the load, not fall
 // back to a default and silently run a different experiment.
@@ -227,6 +292,9 @@ func (f *File) topology(name string) (*hw.Topology, error) {
 // scenarioAxis resolves one scenario entry into an axis point.
 func (f *File) scenarioAxis(i int, r ScenarioRef) (Scenario, error) {
 	switch {
+	case r.Fleet != nil:
+		return Scenario{}, fmt.Errorf("sweep: scenario entry %d: fleet blocks expand in Spec, not scenarioAxis", i)
+
 	case r.Gen != nil:
 		if r.Name != "" {
 			return Scenario{}, fmt.Errorf("sweep: scenario entry %d sets both a name (%q) and a generator block", i, r.Name)
@@ -353,6 +421,99 @@ func (f *File) genAxis(i int, g *GenBlock) (Scenario, error) {
 	return Scenario{Name: name, New: gs.MustGenerate}, nil
 }
 
+// fleetAxis expands a fleet block into one scenario axis point per
+// placement policy. The fleet spec is validated (and its VM timeline
+// trially expanded) at parse time so a bad block — zero hosts, an
+// unknown placement, a non-positive tenant weight — fails the load, not
+// the run.
+func (f *File) fleetAxis(i int, fb *FleetBlock) ([]Scenario, error) {
+	var topo *hw.Topology
+	if fb.Topology != "" {
+		t, err := f.topology(fb.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: fleet scenario %d: %v", i, err)
+		}
+		topo = t
+	}
+
+	var tenants []fleet.Tenant
+	if len(fb.Tenants) > 0 {
+		names := make([]string, 0, len(fb.Tenants))
+		for n := range fb.Tenants {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			tenants = append(tenants, fleet.Tenant{Name: n, Weight: fb.Tenants[n]})
+		}
+	}
+
+	seed := fb.Seed
+	if seed == 0 {
+		seed = f.BaseSeed
+	}
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+
+	name := fb.Name
+	if name == "" {
+		name = fmt.Sprintf("fleet%d-%dh", i, fb.Hosts)
+	}
+
+	placements := []string(fb.Placement)
+	if len(placements) == 0 {
+		placements = []string{"least-loaded"}
+	}
+
+	base := fleet.Spec{
+		Name:    name,
+		Hosts:   fb.Hosts,
+		Topo:    topo,
+		OverSub: fb.OverSub,
+		Tenants: tenants,
+		VCPUs:   fb.VCPUs,
+		Mix:     fb.Mix,
+		GenSeed: seed,
+	}
+	if c := fb.Churn; c != nil {
+		base.Churn = &scenario.ChurnSpec{
+			Rate:         c.RatePerSec,
+			MeanLifetime: sim.Time(c.MeanLifeMS) * sim.Millisecond,
+			MinLifetime:  sim.Time(c.MinLifeMS) * sim.Millisecond,
+			Start:        sim.Time(c.StartMS) * sim.Millisecond,
+			Horizon:      sim.Time(c.HorizonMS) * sim.Millisecond,
+			MaxVMs:       c.MaxVMs,
+		}
+	}
+	if r := fb.Rebalance; r != nil {
+		base.Rebalance = fleet.Rebalance{
+			Every:         sim.Time(r.EveryMS) * sim.Millisecond,
+			Threshold:     r.Threshold,
+			MigrationTime: sim.Time(r.MigrationMS) * sim.Millisecond,
+			MaxPerTick:    r.MaxPerTick,
+		}
+	}
+
+	var out []Scenario
+	for _, pl := range placements {
+		proto := base
+		proto.Placement = pl
+		if len(placements) > 1 {
+			proto.Name = name + "+" + pl
+		}
+		if _, err := proto.GenVMs(); err != nil {
+			return nil, fmt.Errorf("sweep: fleet scenario %d: %v", i, err)
+		}
+		p := proto // capture one copy per placement
+		out = append(out, Scenario{Name: p.Name, NewFleet: func() *fleet.Spec {
+			c := p
+			return &c
+		}})
+	}
+	return out, nil
+}
+
 // Spec resolves the file's names into a runnable Spec.
 func (f *File) Spec() (*Spec, error) {
 	s := &Spec{
@@ -367,6 +528,17 @@ func (f *File) Spec() (*Spec, error) {
 		s.Name = "sweep"
 	}
 	for i, ref := range f.Scenarios {
+		if ref.Fleet != nil {
+			if ref.Name != "" || ref.Gen != nil {
+				return nil, fmt.Errorf("sweep: scenario entry %d combines a fleet block with a name or generator block", i)
+			}
+			scs, err := f.fleetAxis(i, ref.Fleet)
+			if err != nil {
+				return nil, err
+			}
+			s.Scenarios = append(s.Scenarios, scs...)
+			continue
+		}
 		sc, err := f.scenarioAxis(i, ref)
 		if err != nil {
 			return nil, err
@@ -526,6 +698,42 @@ var builtins = map[string]func() *Spec{
 			Seeds:     2,
 			WarmupMS:  400,
 			MeasureMS: 900,
+		})
+	},
+	// fleet demonstrates the multi-host layer end to end: a 100-host /
+	// 2,400-vCPU datacenter with VM churn and live-migration
+	// rebalancing, sweeping two placement policies in one spec. It must
+	// stay identical to the committed examples/specs/fleet.json (the CI
+	// smoke spec) — the sweep tests assert the equivalence.
+	"fleet": func() *Spec {
+		return mustFile(File{
+			Name: "fleet",
+			Scenarios: []ScenarioRef{{Fleet: &FleetBlock{
+				Name:      "dc100",
+				Hosts:     100,
+				OverSub:   3,
+				Placement: PlacementList{"least-loaded", "bin-pack"},
+				Tenants:   map[string]float64{"alpha": 2, "beta": 1, "gamma": 1},
+				VCPUs:     2400,
+				Mix: map[string]float64{
+					"IOInt": 0.25, "ConSpin": 0.25, "LLCF": 0.2, "LLCO": 0.15, "LoLCF": 0.15,
+				},
+				Churn: &ChurnBlock{
+					RatePerSec: 40,
+					MeanLifeMS: 400,
+					MinLifeMS:  100,
+					HorizonMS:  900,
+				},
+				Rebalance: &RebalanceBlock{
+					EveryMS:     100,
+					Threshold:   0.05,
+					MigrationMS: 40,
+					MaxPerTick:  8,
+				},
+			}}},
+			Policies:  []string{"xen"},
+			WarmupMS:  300,
+			MeasureMS: 700,
 		})
 	},
 }

@@ -22,6 +22,7 @@ import (
 
 	"aqlsched/internal/baselines"
 	"aqlsched/internal/core"
+	"aqlsched/internal/fleet"
 	"aqlsched/internal/metrics"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
@@ -30,13 +31,16 @@ import (
 // DefaultSeed matches the experiments package default.
 const DefaultSeed uint64 = 0xA91
 
-// Scenario is one point on the scenario axis. New builds a fresh
-// scenario.Spec for every run so that concurrent runs never share
-// mutable state (topologies, app slices); the sweep overrides the
-// returned spec's Seed, Warmup and Measure fields.
+// Scenario is one point on the scenario axis. Exactly one of New and
+// NewFleet is set: New builds a fresh single-host scenario.Spec,
+// NewFleet a fresh multi-host fleet.Spec. Constructors return fresh
+// values for every run so that concurrent runs never share mutable
+// state (topologies, app slices); the sweep overrides the returned
+// spec's Seed, Warmup and Measure fields.
 type Scenario struct {
-	Name string
-	New  func() scenario.Spec
+	Name     string
+	New      func() scenario.Spec
+	NewFleet func() *fleet.Spec
 }
 
 // Policy is one point on the policy axis. New builds a fresh
@@ -119,8 +123,11 @@ func (s *Spec) Validate() error {
 	}
 	seen := map[string]bool{}
 	for _, sc := range s.Scenarios {
-		if sc.New == nil {
+		if sc.New == nil && sc.NewFleet == nil {
 			return fmt.Errorf("sweep %q: scenario %q has no constructor", s.Name, sc.Name)
+		}
+		if sc.New != nil && sc.NewFleet != nil {
+			return fmt.Errorf("sweep %q: scenario %q is both single-host and fleet", s.Name, sc.Name)
 		}
 		if seen[sc.Name] {
 			return fmt.Errorf("sweep %q: duplicate scenario %q", s.Name, sc.Name)
@@ -338,6 +345,27 @@ func execOne(spec *Spec, run Run, keepRaw bool) (rr RunResult) {
 			rr.Err = fmt.Errorf("run %s/%s seed#%d panicked: %v", run.Scenario, run.Policy, run.SeedIdx, p)
 		}
 	}()
+
+	if nf := spec.Scenarios[run.ScenarioIdx].NewFleet; nf != nil {
+		fs := nf()
+		fs.Seed = run.Seed
+		if fs.GenSeed == 0 {
+			// Pin the population to the sweep's base seed so replications
+			// vary only the per-host simulations, mirroring the scenario
+			// generator's GenSeed/Seed split.
+			fs.GenSeed = spec.baseSeed()
+		}
+		if spec.Warmup > 0 {
+			fs.Warmup = spec.Warmup
+		}
+		if spec.Measure > 0 {
+			fs.Measure = spec.Measure
+		}
+		res := fleet.Run(*fs, fleet.Options{NewPolicy: spec.Policies[run.PolicyIdx].New})
+		rr.Apps = res.Apps
+		rr.Metrics = res.Metrics
+		return rr
+	}
 
 	sc := spec.Scenarios[run.ScenarioIdx].New()
 	sc.Seed = run.Seed

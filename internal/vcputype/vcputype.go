@@ -23,6 +23,11 @@ const (
 	numTypes
 )
 
+// None marks a measurement with no single expected type: fleet tenants
+// aggregate VMs of many types, so their AppMeasures carry no taxonomy
+// label. It is outside All() and never parses.
+const None Type = -1
+
 // All lists the five types in the paper's priority order: when cursor
 // averages tie, the earlier (more specific) type wins.
 func All() []Type { return []Type{IOInt, ConSpin, LLCF, LLCO, LoLCF} }
@@ -30,6 +35,8 @@ func All() []Type { return []Type{IOInt, ConSpin, LLCF, LLCO, LoLCF} }
 // String implements fmt.Stringer with the paper's notation.
 func (t Type) String() string {
 	switch t {
+	case None:
+		return "-"
 	case IOInt:
 		return "IOInt"
 	case ConSpin:

@@ -123,18 +123,20 @@ func Deploy(h *xen.Hypervisor, spec AppSpec, instance string, rng *sim.RNG) *Dep
 	spawn := func(tname string, cpu int, irq bool, worker bool, prog guest.Program) {
 		dd := delay()
 		dom := d.Dom
-		add := func(t *guest.Thread) {
+		if dd == 0 {
+			t := dom.OS.Spawn(tname, cpu, irq, prog, h.Engine.Now())
 			d.Threads = append(d.Threads, t)
 			if worker {
 				d.Workers = append(d.Workers, t)
 			}
-		}
-		if dd == 0 {
-			add(dom.OS.Spawn(tname, cpu, irq, prog, h.Engine.Now()))
 			return
 		}
 		h.Engine.After(dd, func(now sim.Time) {
-			add(dom.OS.Spawn(tname, cpu, irq, prog, now))
+			t := dom.OS.Spawn(tname, cpu, irq, prog, now)
+			d.Threads = append(d.Threads, t)
+			if worker {
+				d.Workers = append(d.Workers, t)
+			}
 		})
 	}
 	if len(spec.Phases) > 0 {
