@@ -7,7 +7,14 @@
 //
 //	aqlsweep -spec fig8 -workers 8 -out out/
 //	aqlsweep -spec mysweep.json -seeds 5 -quick
+//	aqlsweep -resume out/fig8.journal
 //	aqlsweep -list
+//
+// With -out, every completed run is checkpointed to a crash-safe
+// journal (<out>/<name>.journal/). After a crash or kill, -resume
+// <journal-dir> rebuilds the same sweep from the journal's manifest,
+// skips the journaled runs, and emits artifacts byte-identical to an
+// uninterrupted run's.
 //
 // Spec files look like:
 //
@@ -45,6 +52,7 @@ import (
 	"strings"
 	"time"
 
+	"aqlsched/internal/atomicio"
 	"aqlsched/internal/catalog"
 	"aqlsched/internal/sim"
 	"aqlsched/internal/sweep"
@@ -57,7 +65,9 @@ func main() {
 		listMetrics = flag.Bool("list-metrics", false, "list the metric registry (name, unit, direction, aggregation, scope), then exit")
 		metricsSel  = flag.String("metrics", "", "comma-separated metric names to emit (default: all; see -list-metrics)")
 		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		out         = flag.String("out", "", "output directory for <name>.json/.csv/.txt artifacts")
+		out         = flag.String("out", "", "output directory for <name>.json/.csv/.txt artifacts (also enables the crash-safe run journal)")
+		resume      = flag.String("resume", "", "resume an interrupted sweep from its journal directory (<out>/<name>.journal); journaled runs are skipped")
+		runTimeout  = flag.Duration("run-timeout", 10*time.Minute, "per-run watchdog: a run still executing after this is marked FAILED (0 disables)")
 		seeds       = flag.Int("seeds", 0, "override seed replications per cell")
 		seed        = flag.Uint64("seed", 0, "override the base simulation seed")
 		quick       = flag.Bool("quick", false, "quick windows (1s warmup, 2.5s measure)")
@@ -84,33 +94,72 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aqlsweep: %v\n", err)
 		os.Exit(2)
 	}
-	if *specArg == "" {
-		fmt.Fprintln(os.Stderr, "aqlsweep: -spec is required (file path or built-in name; -list shows built-ins)")
-		os.Exit(2)
+	var (
+		spec    *sweep.Spec
+		journal *sweep.Journal
+		outDir  = *out
+	)
+	if *resume != "" {
+		// A resume rebuilds the sweep entirely from the journal's
+		// manifest — combining it with grid-shaping flags would silently
+		// change which runs the journaled indexes mean.
+		for _, f := range []string{"spec", "seeds", "seed", "quick"} {
+			if flagSet(f) {
+				fmt.Fprintf(os.Stderr, "aqlsweep: -resume rebuilds the sweep from the journal; -%s cannot be combined with it\n", f)
+				os.Exit(2)
+			}
+		}
+		var err error
+		spec, journal, err = resumeSweep(*resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aqlsweep: %v\n", err)
+			os.Exit(2)
+		}
+		if outDir == "" {
+			// Artifacts land next to the journal, where the interrupted
+			// invocation would have put them.
+			outDir = filepath.Dir(filepath.Clean(*resume))
+		}
+		fmt.Fprintf(os.Stderr, "aqlsweep: resuming %s from %s: %d/%d runs already journaled, skipping them\n",
+			spec.Name, *resume, journal.RestoredCount(), len(spec.Runs()))
+	} else {
+		if *specArg == "" {
+			fmt.Fprintln(os.Stderr, "aqlsweep: -spec is required (file path or built-in name; -list shows built-ins)")
+			os.Exit(2)
+		}
+		var src []byte
+		var builtin string
+		var err error
+		spec, src, builtin, err = resolveSpec(*specArg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aqlsweep: %v\n", err)
+			os.Exit(2)
+		}
+		if *seeds > 0 {
+			spec.Seeds = *seeds
+		}
+		if *seed != 0 {
+			spec.BaseSeed = *seed
+		} else if flagSet("seed") {
+			// BaseSeed 0 means "default" throughout the sweep layer, so an
+			// explicit zero cannot be honored — say so instead of silently
+			// running with 0xA91.
+			fmt.Fprintf(os.Stderr, "aqlsweep: -seed 0 is reserved for the default; running with base seed %#x\n", sweep.DefaultSeed)
+		}
+		if *quick {
+			spec.Warmup = 1 * sim.Second
+			spec.Measure = 2500 * sim.Millisecond
+		}
+		if outDir != "" {
+			journal, err = createJournal(spec, src, builtin, outDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aqlsweep: %v\n", err)
+				os.Exit(2)
+			}
+		}
 	}
 
-	spec, err := resolveSpec(*specArg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "aqlsweep: %v\n", err)
-		os.Exit(2)
-	}
-	if *seeds > 0 {
-		spec.Seeds = *seeds
-	}
-	if *seed != 0 {
-		spec.BaseSeed = *seed
-	} else if flagSet("seed") {
-		// BaseSeed 0 means "default" throughout the sweep layer, so an
-		// explicit zero cannot be honored — say so instead of silently
-		// running with 0xA91.
-		fmt.Fprintf(os.Stderr, "aqlsweep: -seed 0 is reserved for the default; running with base seed %#x\n", sweep.DefaultSeed)
-	}
-	if *quick {
-		spec.Warmup = 1 * sim.Second
-		spec.Measure = 2500 * sim.Millisecond
-	}
-
-	opts := sweep.Options{Workers: *workers}
+	opts := sweep.Options{Workers: *workers, Journal: journal, RunTimeout: *runTimeout}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
@@ -146,8 +195,8 @@ func main() {
 	}
 	res.Table().Render(os.Stdout)
 
-	if *out != "" {
-		if err := writeArtifacts(res, *out); err != nil {
+	if outDir != "" {
+		if err := writeArtifacts(res, outDir); err != nil {
 			fmt.Fprintf(os.Stderr, "aqlsweep: %v\n", err)
 			stopProfiling()
 			os.Exit(1)
@@ -335,43 +384,110 @@ func flagSet(name string) bool {
 }
 
 // resolveSpec prefers an on-disk spec file; otherwise the name must be
-// a built-in sweep.
-func resolveSpec(arg string) (*sweep.Spec, error) {
+// a built-in sweep. It also returns the sweep's identity for the run
+// journal: the raw file bytes, or the built-in name.
+func resolveSpec(arg string) (*sweep.Spec, []byte, string, error) {
 	if _, err := os.Stat(arg); err == nil {
-		return sweep.Load(arg)
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		s, err := sweep.Parse(data)
+		return s, data, "", err
 	}
 	if s, ok := sweep.Builtin(arg); ok {
-		return s, nil
+		return s, nil, arg, nil
 	}
-	return nil, fmt.Errorf("spec %q is neither a file nor a built-in (built-ins: %v)", arg, sweep.BuiltinNames())
+	return nil, nil, "", fmt.Errorf("spec %q is neither a file nor a built-in (built-ins: %v)", arg, sweep.BuiltinNames())
+}
+
+// specFingerprint pins a journal to the exact sweep it belongs to: the
+// spec source plus every grid-shaping override. Resuming against an
+// edited spec (or different flags) must fail, not silently mix grids.
+func specFingerprint(spec *sweep.Spec, src []byte, builtin string) string {
+	ident := append([]byte(nil), src...)
+	if builtin != "" {
+		ident = []byte("builtin:" + builtin)
+	}
+	ident = append(ident, fmt.Sprintf("|seeds=%d|base=%d|warmup=%d|measure=%d",
+		spec.Seeds, spec.BaseSeed, spec.Warmup, spec.Measure)...)
+	return sweep.FingerprintSpec(ident)
+}
+
+// createJournal arms the crash-safe run journal at
+// <out>/<name>.journal/ for a fresh (non-resume) invocation.
+func createJournal(spec *sweep.Spec, src []byte, builtin string, outDir string) (*sweep.Journal, error) {
+	m := sweep.Manifest{
+		Name:        spec.Name,
+		Fingerprint: specFingerprint(spec, src, builtin),
+		Builtin:     builtin,
+		SpecJSON:    string(src),
+		Seeds:       spec.Seeds,
+		BaseSeed:    spec.BaseSeed,
+		WarmupNS:    int64(spec.Warmup),
+		MeasureNS:   int64(spec.Measure),
+		Runs:        len(spec.Runs()),
+	}
+	return sweep.CreateJournal(filepath.Join(outDir, spec.Name+".journal"), m)
+}
+
+// resumeSweep reopens a journal and rebuilds the exact sweep it was
+// created for from the manifest's embedded spec source and overrides.
+func resumeSweep(dir string) (*sweep.Spec, *sweep.Journal, error) {
+	j, m, err := sweep.OpenJournal(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var spec *sweep.Spec
+	switch {
+	case m.Builtin != "":
+		s, ok := sweep.Builtin(m.Builtin)
+		if !ok {
+			return nil, nil, fmt.Errorf("journal %s references unknown built-in sweep %q", dir, m.Builtin)
+		}
+		spec = s
+	case len(m.SpecJSON) > 0:
+		s, err := sweep.Parse([]byte(m.SpecJSON))
+		if err != nil {
+			return nil, nil, fmt.Errorf("journal %s: embedded spec: %v", dir, err)
+		}
+		spec = s
+	default:
+		return nil, nil, fmt.Errorf("journal %s names neither a built-in nor an embedded spec", dir)
+	}
+	spec.Seeds = m.Seeds
+	spec.BaseSeed = m.BaseSeed
+	spec.Warmup = sim.Time(m.WarmupNS)
+	spec.Measure = sim.Time(m.MeasureNS)
+	if got := specFingerprint(spec, []byte(m.SpecJSON), m.Builtin); got != m.Fingerprint {
+		return nil, nil, fmt.Errorf("journal %s: fingerprint mismatch (the built-in or binary changed since the journal was written)", dir)
+	}
+	if got := len(spec.Runs()); got != m.Runs {
+		return nil, nil, fmt.Errorf("journal %s: expects %d runs, the rebuilt sweep has %d", dir, m.Runs, got)
+	}
+	return spec, j, nil
 }
 
 // writeArtifacts emits <name>.json, <name>.csv and <name>.txt into dir.
+// Writes are atomic (temp file + rename), so an interrupted process
+// never leaves a truncated artifact.
 func writeArtifacts(res *sweep.Result, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	emit := func(ext string, write func(*os.File) error) error {
+	emit := func(ext string, write func(io.Writer) error) error {
 		path := filepath.Join(dir, res.Name+ext)
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := write(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := atomicio.WriteTo(path, 0o644, write); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "aqlsweep: wrote %s\n", path)
 		return nil
 	}
-	if err := emit(".json", func(f *os.File) error { return res.WriteJSON(f) }); err != nil {
+	if err := emit(".json", func(w io.Writer) error { return res.WriteJSON(w) }); err != nil {
 		return err
 	}
-	if err := emit(".csv", func(f *os.File) error { return res.WriteCSV(f) }); err != nil {
+	if err := emit(".csv", func(w io.Writer) error { return res.WriteCSV(w) }); err != nil {
 		return err
 	}
-	return emit(".txt", func(f *os.File) error { res.Table().Render(f); return nil })
+	return emit(".txt", func(w io.Writer) error { res.Table().Render(w); return nil })
 }

@@ -1,0 +1,62 @@
+// Package atomicio writes files crash-safely: content lands in a
+// temporary file in the destination directory and is renamed into place
+// only after a successful write and sync. A reader therefore sees
+// either the complete old file or the complete new one — never a
+// truncated artifact from a process killed mid-write.
+package atomicio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data (mode perm for new
+// files). On any error the destination is untouched and the temporary
+// file is removed.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return WriteTo(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteTo atomically replaces path with whatever write produces. The
+// writer goes to a temporary file next to path; only after write
+// returns nil and the file is synced and closed does the rename publish
+// it.
+func WriteTo(path string, perm os.FileMode, write func(w io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil // the deferred cleanup must not remove a closed, renamed file
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

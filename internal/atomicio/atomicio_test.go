@@ -1,0 +1,75 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read after create: %q, %v", got, err)
+	}
+
+	if err := WriteFile(path, []byte("v2-longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2-longer" {
+		t.Fatalf("read after replace: %q", got)
+	}
+}
+
+func TestWriteToFailureLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.csv")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("emitter failed")
+	err := WriteTo(path, 0o644, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the writer's error back, got %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("failed write clobbered the destination: %q", got)
+	}
+
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestWriteToNoDir(t *testing.T) {
+	// A bare filename (no separator) must write into the cwd.
+	dir := t.TempDir()
+	old, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if err := WriteFile("plain.txt", []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile("plain.txt"); string(got) != "x" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -31,10 +31,33 @@ type Host struct {
 	committed int // admitted vCPUs, including in-flight migration reservations
 	reserved  int // the reservation share of committed (incoming migrations)
 	vms       []*VM
+
+	// Fault state: a down host admits nothing until it recovers; a
+	// degraded host admits only up to factor × capacity. Both stay at
+	// their healthy values (false, 1) unless the spec carries a fault
+	// plan, so fault-free runs are bit-identical to pre-fault builds.
+	down       bool
+	factor     float64
+	degradeGen int
 }
 
-// Capacity is the host's admission limit in vCPUs.
+// Capacity is the host's nominal admission limit in vCPUs.
 func (h *Host) Capacity() int { return h.capacity }
+
+// EffCapacity is the current admission limit: nominal capacity scaled
+// by the active degradation factor (0 while the host is down).
+func (h *Host) EffCapacity() int {
+	if h.down {
+		return 0
+	}
+	return int(math.Floor(float64(h.capacity) * h.factor))
+}
+
+// Down reports whether the host is crashed right now.
+func (h *Host) Down() bool { return h.down }
+
+// Degraded reports whether a capacity degradation is active.
+func (h *Host) Degraded() bool { return h.factor < 1 }
 
 // Committed is the host's admitted vCPU count (reservations included).
 func (h *Host) Committed() int { return h.committed }
@@ -73,6 +96,20 @@ type VM struct {
 	runCarried sim.Time
 	// baseRun is the attained-time watermark at measurement start.
 	baseRun sim.Time
+
+	// gen is the placement-stint epoch: bumped on every (re)placement
+	// and on crash-eviction, so timeline events scheduled against an
+	// earlier stint (the old departure, a migration completion) detect
+	// they are stale and clean up instead of acting.
+	gen int
+	// Crash-recovery state: waitRepl marks a crash victim not yet
+	// re-placed (crashedAt anchors its downtime), retries counts failed
+	// re-placement attempts, remaining is the unserved share of
+	// Lifetime at crash time.
+	waitRepl  bool
+	crashedAt sim.Time
+	retries   int
+	remaining sim.Time
 }
 
 // Host reports where the VM currently runs (nil while queued or gone).
@@ -91,6 +128,11 @@ const (
 	evTick
 	evDepart
 	evMigDone
+	evCrash
+	evRecover
+	evDegrade
+	evDegradeEnd
+	evRetry
 )
 
 // event is one entry of the fleet timeline. Events are ordered by
@@ -101,11 +143,17 @@ type event struct {
 	seq      int
 	kind     eventKind
 	vm       *VM
-	src, dst *Host // migration endpoints (evMigDone)
+	src, dst *Host // migration endpoints (evMigDone); src doubles as the fault target host
+	// gen pins the event to a VM placement stint (evDepart, evMigDone,
+	// evRetry) or a degradation episode (evDegradeEnd); a mismatch at
+	// fire time means the world moved on and the event is stale.
+	gen    int
+	dur    sim.Time // crash downtime / degrade duration
+	factor float64  // degrade capacity multiplier
 }
 
-func (f *Fleet) push(at sim.Time, kind eventKind, vm *VM, src, dst *Host) {
-	e := event{at: at, seq: f.seq, kind: kind, vm: vm, src: src, dst: dst}
+func (f *Fleet) push(e event) {
+	e.seq = f.seq
 	f.seq++
 	f.heap = append(f.heap, e)
 	i := len(f.heap) - 1
@@ -172,6 +220,12 @@ type Fleet struct {
 	heap []event
 	seq  int
 
+	// Fault state: faults is the plan with defaults applied (nil when
+	// the spec injects none); faultRNG drives the per-run migration
+	// failure draws, consumed in central-timeline order.
+	faults   *FaultPlan
+	faultRNG *sim.RNG
+
 	// counters and accumulators
 	placements, migrations, aborted int
 	waitSum                         sim.Time
@@ -180,6 +234,12 @@ type Fleet struct {
 	vmSeconds                       float64
 	tenantAttained                  []float64
 	tenantShares                    [][]float64
+
+	// fault counters
+	faultsInjected, migFailures int
+	vmsLost, vmsReplaced        int
+	replWaitSum                 sim.Time
+	downtimeVMSec               float64
 }
 
 // Options tunes execution. Everything here is per-run state the sweep
@@ -251,17 +311,33 @@ func Run(spec Spec, opts Options) *Result {
 			Pol:       pol,
 			deployRNG: sim.NewRNG(hostSeed + 0x9e37),
 			capacity:  capacity,
+			factor:    1,
 		})
+	}
+
+	if sp.Faults != nil {
+		fp := sp.Faults.withDefaults(sp.GenSeed)
+		f.faults = &fp
+		f.faultRNG = sim.NewRNG(sp.Seed).Fork(0xFA11)
 	}
 
 	for i := range vms {
 		vm := &VM{ID: i, VMSpec: vms[i]}
 		f.VMs = append(f.VMs, vm)
-		f.push(vm.ArriveAt, evArrive, vm, nil, nil)
+		f.push(event{at: vm.ArriveAt, kind: evArrive, vm: vm})
 	}
-	f.push(f.warmup, evMeasureStart, nil, nil, nil)
+	f.push(event{at: f.warmup, kind: evMeasureStart})
 	for t := sp.Rebalance.Every; t < f.end; t += sp.Rebalance.Every {
-		f.push(t, evTick, nil, nil, nil)
+		f.push(event{at: t, kind: evTick})
+	}
+	if f.faults != nil {
+		for _, fe := range f.faults.timeline(sp.Hosts) {
+			kind := evDegrade
+			if fe.crash {
+				kind = evCrash
+			}
+			f.push(event{at: fe.at, kind: kind, src: f.Hosts[fe.host], dur: fe.dur, factor: fe.factor})
+		}
 	}
 
 	for len(f.heap) > 0 {
@@ -278,6 +354,11 @@ func Run(spec Spec, opts Options) *Result {
 		if vm.Placed && !vm.Gone {
 			f.settle(vm, f.end)
 			f.vmSeconds += float64(vm.VCPUs()) * seconds(f.end-vm.PlacedAt)
+		}
+		// Crash victims never re-placed (still backing off, requeued, or
+		// dropped) were down from the crash to the end of the run.
+		if vm.waitRepl {
+			f.downtimeVMSec += float64(vm.VCPUs()) * seconds(f.end-vm.crashedAt)
 		}
 	}
 
@@ -311,7 +392,9 @@ func (f *Fleet) handle(e event) {
 
 	case evDepart:
 		vm := e.vm
-		if vm.Gone {
+		if vm.Gone || e.gen != vm.gen {
+			// Stale: the VM already departed, or this departure belongs to
+			// a placement stint a crash has since ended.
 			return
 		}
 		h := vm.host
@@ -337,6 +420,34 @@ func (f *Fleet) handle(e event) {
 			f.drain(e.at)
 			return
 		}
+		if e.gen != vm.gen {
+			// The source host crashed mid-transfer and the VM went back
+			// through recovery: the copy in flight is worthless. Release
+			// the reservation and count a failed migration.
+			dst.committed -= vm.VCPUs()
+			f.migFailures++
+			f.drain(e.at)
+			return
+		}
+		if dst.down {
+			// The destination died while the transfer ran: the VM keeps
+			// running where it was.
+			dst.committed -= vm.VCPUs()
+			vm.migrating = false
+			f.migFailures++
+			f.drain(e.at)
+			return
+		}
+		if f.faults != nil && f.faults.MigFailProb > 0 && f.faultRNG.Float64() < f.faults.MigFailProb {
+			// Injected transfer failure (dirty-page copy never converged,
+			// network fault, ...): same outcome as a dead destination.
+			dst.committed -= vm.VCPUs()
+			vm.migrating = false
+			f.migFailures++
+			f.faultsInjected++
+			f.drain(e.at)
+			return
+		}
 		vm.migrating = false
 		src.advance(e.at)
 		dst.advance(e.at)
@@ -349,7 +460,116 @@ func (f *Fleet) handle(e event) {
 		vm.dep = workload.Deploy(dst.Hyp, vm.App, fmt.Sprintf("v%d", vm.ID), dst.deployRNG)
 		f.migrations++
 		f.drain(e.at)
+
+	case evCrash:
+		f.crash(e.src, e.at, e.dur)
+
+	case evRecover:
+		h := e.src
+		if !h.down {
+			return
+		}
+		h.down = false
+		f.drain(e.at)
+
+	case evDegrade:
+		h := e.src
+		h.factor = e.factor
+		h.degradeGen++
+		f.faultsInjected++
+		f.push(event{at: e.at + e.dur, kind: evDegradeEnd, src: h, gen: h.degradeGen})
+
+	case evDegradeEnd:
+		h := e.src
+		if e.gen != h.degradeGen {
+			return // a newer degradation superseded this one
+		}
+		h.factor = 1
+		f.drain(e.at)
+
+	case evRetry:
+		vm := e.vm
+		if vm.Gone || e.gen != vm.gen {
+			return
+		}
+		if vi, h, ok := f.placer.Choose(f, []*VM{vm}); ok && vi == 0 {
+			f.place(vm, h, e.at)
+			f.drain(e.at)
+			return
+		}
+		vm.retries++
+		rec := f.faults.Recovery
+		if vm.retries > rec.MaxRetries {
+			if rec.OnExhaust == "drop" {
+				vm.Gone = true
+				f.vmsLost++
+			} else {
+				// Requeue: the victim joins the tail of the regular
+				// placement queue and waits for capacity like any arrival.
+				f.pending = append(f.pending, vm)
+			}
+			return
+		}
+		f.scheduleRetry(vm, e.at)
 	}
+}
+
+// crash kills a host: every resident VM is lost and handed to the
+// recovery policy, admissions stop until the host recovers (never, when
+// down is 0). A second crash on an already-down host is a no-op.
+func (f *Fleet) crash(h *Host, now sim.Time, down sim.Time) {
+	if h.down {
+		return
+	}
+	h.advance(now)
+	h.down = true
+	f.faultsInjected++
+	if down > 0 {
+		f.push(event{at: now + down, kind: evRecover, src: h})
+	}
+	victims := append([]*VM(nil), h.vms...)
+	h.vms = h.vms[:0]
+	for _, vm := range victims {
+		h.Hyp.DestroyDomain(vm.dep.Dom, now)
+		f.settle(vm, now)
+		f.vmSeconds += float64(vm.VCPUs()) * seconds(now-vm.PlacedAt)
+		h.committed -= vm.VCPUs()
+		f.tenantCommitted[vm.Tenant] -= vm.VCPUs()
+		if vm.Lifetime > 0 {
+			vm.remaining = vm.PlacedAt + vm.Lifetime - now
+			if vm.remaining <= 0 {
+				// The departure was due this very instant: keep a token
+				// remaining lifetime so the replacement departs immediately
+				// instead of reading 0 as "runs forever".
+				vm.remaining = 1
+			}
+		}
+		// End the placement stint: outstanding depart/migration events
+		// for this stint become stale, and an in-flight outbound
+		// migration will release its reservation at completion time.
+		vm.gen++
+		vm.Placed = false
+		vm.host = nil
+		vm.dep = nil
+		vm.migrating = false
+		vm.runCarried = 0
+		vm.baseRun = 0
+		vm.waitRepl = true
+		vm.crashedAt = now
+		vm.retries = 0
+		f.scheduleRetry(vm, now)
+	}
+}
+
+// scheduleRetry arms the victim's next re-placement attempt after the
+// recovery policy's exponential backoff.
+func (f *Fleet) scheduleRetry(vm *VM, now sim.Time) {
+	rec := f.faults.Recovery
+	delay := float64(rec.RetryDelay)
+	for i := 0; i < vm.retries; i++ {
+		delay *= rec.Backoff
+	}
+	f.push(event{at: now + sim.Time(delay), kind: evRetry, vm: vm, gen: vm.gen})
 }
 
 // drain admits pending VMs until the placement policy cannot (or will
@@ -373,12 +593,24 @@ func (f *Fleet) place(vm *VM, h *Host, now sim.Time) {
 	vm.host = h
 	vm.Placed = true
 	vm.PlacedAt = now
+	vm.gen++ // a new placement stint begins
 	h.vms = append(h.vms, vm)
 	vm.dep = workload.Deploy(h.Hyp, vm.App, fmt.Sprintf("v%d", vm.ID), h.deployRNG)
-	f.placements++
-	f.waitSum += now - vm.ArriveAt
-	if vm.Lifetime > 0 {
-		f.push(now+vm.Lifetime, evDepart, vm, nil, nil)
+	lifetime := vm.Lifetime
+	if vm.waitRepl {
+		// Re-placement of a crash victim: close its downtime window and
+		// resume the unserved share of its lifetime.
+		f.vmsReplaced++
+		f.replWaitSum += now - vm.crashedAt
+		f.downtimeVMSec += float64(vm.VCPUs()) * seconds(now-vm.crashedAt)
+		vm.waitRepl = false
+		lifetime = vm.remaining
+	} else {
+		f.placements++
+		f.waitSum += now - vm.ArriveAt
+	}
+	if lifetime > 0 {
+		f.push(event{at: now + lifetime, kind: evDepart, vm: vm, gen: vm.gen})
 	}
 }
 
@@ -389,6 +621,9 @@ func (f *Fleet) rebalance(now sim.Time) {
 	for n := 0; n < f.Spec.Rebalance.MaxPerTick; n++ {
 		var src, dst *Host
 		for _, h := range f.Hosts {
+			if h.down {
+				continue // a dead host neither sheds nor receives load
+			}
 			if src == nil || h.Load() > src.Load() {
 				src = h
 			}
@@ -423,7 +658,7 @@ func (f *Fleet) rebalance(now sim.Time) {
 		vm.migrating = true
 		dst.committed += vm.VCPUs()
 		dst.reserved += vm.VCPUs()
-		f.push(now+f.Spec.Rebalance.MigrationTime, evMigDone, vm, src, dst)
+		f.push(event{at: now + f.Spec.Rebalance.MigrationTime, kind: evMigDone, vm: vm, src: src, dst: dst, gen: vm.gen})
 	}
 }
 
@@ -460,8 +695,9 @@ func (f *Fleet) attained(vm *VM, now sim.Time) sim.Time {
 }
 
 // settle folds the VM's measurement-window attainment into its tenant's
-// accumulators. Called exactly once per placed VM, at departure or run
-// end; VMs that departed before the window contribute nothing.
+// accumulators. Called exactly once per placement stint, at departure,
+// crash-eviction or run end; VMs that departed before the window
+// contribute nothing.
 func (f *Fleet) settle(vm *VM, now sim.Time) {
 	if now <= f.warmup {
 		return
@@ -521,6 +757,18 @@ func (f *Fleet) collect(polName string) *Result {
 		res.Metrics.Put(MTenantJain, j)
 	}
 	res.Metrics.Put(MVMSeconds, f.vmSeconds)
+	if f.faults != nil {
+		// Fault metrics only exist when a plan was injected, so fault-free
+		// runs keep their pre-fault artifact bytes.
+		res.Metrics.Put(MFaultsInjected, float64(f.faultsInjected))
+		res.Metrics.Put(MMigrationFailures, float64(f.migFailures))
+		res.Metrics.Put(MVMsLost, float64(f.vmsLost))
+		res.Metrics.Put(MVMsReplaced, float64(f.vmsReplaced))
+		if f.vmsReplaced > 0 {
+			res.Metrics.Put(MReplacementWait, float64(f.replWaitSum)/float64(f.vmsReplaced))
+		}
+		res.Metrics.Put(MDowntimeVMSeconds, f.downtimeVMSec)
+	}
 	return res
 }
 

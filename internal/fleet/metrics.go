@@ -69,6 +69,47 @@ var (
 		Help: "simulated vCPU-weighted VM uptime seconds over the run",
 	})
 
+	// --- Failure-injection metrics ------------------------------------------
+	//
+	// Only emitted when the spec carries a fault plan, so fault-free
+	// artifacts keep their exact pre-fault bytes.
+
+	MFaultsInjected = metrics.Register(metrics.Desc{
+		Name: "fleet_faults_injected", Unit: "count", Direction: metrics.DirNone,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "fault events fired (host crashes, degradations, injected migration failures)",
+	})
+	MMigrationFailures = metrics.Register(metrics.Desc{
+		Name: "fleet_migration_failures", Unit: "count", Direction: metrics.LowerIsBetter,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "live migrations that failed (injected faults, dead destinations, crashed sources)",
+	})
+	MVMsLost = metrics.Register(metrics.Desc{
+		Name: "fleet_vms_lost", Unit: "count", Direction: metrics.LowerIsBetter,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "crash victims dropped after the recovery policy exhausted its retries",
+	})
+	MVMsReplaced = metrics.Register(metrics.Desc{
+		Name: "fleet_vms_replaced", Unit: "count", Direction: metrics.DirNone,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "crash victims successfully re-placed by the recovery policy",
+	})
+	// MReplacementWait is the mean crash-to-re-placement latency over
+	// replaced VMs — the recovery policy's headline responsiveness.
+	MReplacementWait = metrics.Register(metrics.Desc{
+		Name: "fleet_replacement_wait", Unit: "us", Direction: metrics.LowerIsBetter,
+		Agg: metrics.AggMean, Scope: metrics.PerRun,
+		Help: "mean wait from host crash to VM re-placement",
+	})
+	// MDowntimeVMSeconds integrates vCPUs × downtime over every crash
+	// victim (to re-placement, or to run end when never re-placed) — the
+	// graceful-degradation counterpart of fleet_vm_seconds.
+	MDowntimeVMSeconds = metrics.Register(metrics.Desc{
+		Name: "fleet_downtime_vm_seconds", Unit: "s", Direction: metrics.LowerIsBetter,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "vCPU-weighted downtime seconds of crash victims",
+	})
+
 	// --- Per-tenant measures (the fleet's "apps") ----------------------------
 
 	MTenantVCPUSeconds = metrics.Register(metrics.Desc{

@@ -37,8 +37,10 @@ func PlacementByName(name string) (Placement, error) {
 	return f(), nil
 }
 
-// fits reports whether host h can admit demand more vCPUs.
-func fits(h *Host, demand int) bool { return h.Committed()+demand <= h.Capacity() }
+// fits reports whether host h can admit demand more vCPUs right now: a
+// down host admits nothing, a degraded host only up to its effective
+// capacity.
+func fits(h *Host, demand int) bool { return h.Committed()+demand <= h.EffCapacity() }
 
 // bestHost scans hosts in ID order and returns the one minimizing (or,
 // with pack=true, maximizing) admission load among those that fit.

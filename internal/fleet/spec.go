@@ -26,6 +26,13 @@ import (
 	"aqlsched/internal/workload"
 )
 
+// Sanity caps on spec sizes: a typo (or a fuzzer) asking for a billion
+// hosts should fail validation, not exhaust memory building them.
+const (
+	maxHosts      = 1 << 14 // 16,384 hosts
+	maxFleetVCPUs = 1 << 17 // 131,072 vCPUs of initial population
+)
+
 // Tenant is one proportional-share owner of fleet VMs. Weights drive
 // both the tenant-fairshare placement policy and the per-tenant
 // fairness metrics.
@@ -119,6 +126,9 @@ type Spec struct {
 	Churn *scenario.ChurnSpec
 	// Rebalance parameterizes the migration trigger.
 	Rebalance Rebalance
+	// Faults, when non-nil, injects host crashes, transient degradation
+	// and migration failures on a seeded schedule (see FaultPlan).
+	Faults *FaultPlan
 	// Warmup and Measure window the run (defaults 500 ms / 1 s).
 	Warmup  sim.Time
 	Measure sim.Time
@@ -172,6 +182,9 @@ func (s *Spec) Validate() error {
 	if s.Hosts < 1 {
 		return fmt.Errorf("fleet %q: needs at least one host, got %d", name, s.Hosts)
 	}
+	if s.Hosts > maxHosts {
+		return fmt.Errorf("fleet %q: %d hosts exceeds the %d sanity cap", name, s.Hosts, maxHosts)
+	}
 	if s.Topo != nil {
 		if err := s.Topo.Validate(); err != nil {
 			return fmt.Errorf("fleet %q: %v", name, err)
@@ -196,6 +209,11 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("fleet %q: tenant %q weight %v must be positive and finite", name, t.Name, t.Weight)
 		}
 	}
+	if s.Faults != nil {
+		if err := s.Faults.validate(name, s.Hosts); err != nil {
+			return err
+		}
+	}
 	if len(s.Explicit) > 0 {
 		nt := len(s.Tenants)
 		if nt == 0 {
@@ -213,6 +231,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.VCPUs < 1 {
 		return fmt.Errorf("fleet %q: initial population vCPU budget must be ≥ 1, got %d", name, s.VCPUs)
+	}
+	if s.VCPUs > maxFleetVCPUs {
+		return fmt.Errorf("fleet %q: population budget %d vCPUs exceeds the %d sanity cap", name, s.VCPUs, maxFleetVCPUs)
 	}
 	if _, err := scenario.ParseMix(s.Mix); err != nil {
 		return fmt.Errorf("fleet %q: %v", name, err)

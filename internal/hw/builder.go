@@ -87,6 +87,13 @@ func (b TopologyBuilder) Validate() error {
 	if b.CoresPerSocket <= 0 {
 		return fmt.Errorf("hw: builder needs at least one core per socket, got %d", b.CoresPerSocket)
 	}
+	// Sanity cap: a typo (or a fuzzer) asking for a million-core machine
+	// must fail validation, not exhaust memory building per-core state.
+	const maxCores = 4096
+	if int64(b.Sockets)*int64(b.CoresPerSocket) > maxCores {
+		return fmt.Errorf("hw: builder asks for %d x %d cores, more than the %d sanity cap",
+			b.Sockets, b.CoresPerSocket, maxCores)
+	}
 	d := b.withDefaults()
 	switch {
 	case d.L1KB < 0 || d.L2KB < 0 || d.LLCMB < 0:

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 )
@@ -257,6 +258,44 @@ func (s Set) Equal(o Set) bool {
 		}
 	}
 	return true
+}
+
+// setEntry is the JSON shape of one Set measurement.
+type setEntry struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// MarshalJSON encodes the Set as an ordered array of {name, value}
+// pairs, preserving insertion order so a marshal/unmarshal round trip
+// reproduces the Set exactly (Equal). Go's float64 JSON encoding
+// round-trips bit-exactly, which is what lets the sweep journal restore
+// byte-identical artifacts.
+func (s Set) MarshalJSON() ([]byte, error) {
+	out := make([]setEntry, len(s.names))
+	for i, n := range s.names {
+		out[i] = setEntry{Name: n, Value: s.vals[n]}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the array form. Every name must resolve in the
+// registry — a journal written by a binary with metrics this one does
+// not know fails the load instead of resurfacing later as a Put panic.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var entries []setEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return err
+	}
+	*s = Set{}
+	for _, e := range entries {
+		d, ok := DescByName(e.Name)
+		if !ok {
+			return fmt.Errorf("metrics: unknown metric %q in serialized set", e.Name)
+		}
+		s.Put(d, e.Value)
+	}
+	return nil
 }
 
 // Jain computes Jain's fairness index (Σx)²/(n·Σx²) over the samples:

@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 
 	"aqlsched/internal/sim"
@@ -142,5 +144,45 @@ func TestHistogramMerge(t *testing.T) {
 	}
 	if got := a.Percentile(50); got != sim.Time(30) {
 		t.Errorf("merged p50 = %v, want 30", got)
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	var s Set
+	s.Put(tLower, 123.456789e-3)
+	s.Put(tHigh, 1.0/3.0) // not exactly representable in decimal
+	s.Put(tDiag, 0)
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(back) {
+		t.Errorf("round trip changed the set:\nbefore %v\nafter  %v", s.Names(), back.Names())
+	}
+	// Bit-exactness is what the sweep journal's byte-identical resume
+	// rests on, so check a value that has no finite decimal expansion.
+	if v, _ := back.Get("test_higher"); v != 1.0/3.0 {
+		t.Errorf("1/3 round-tripped to %v", v)
+	}
+	// A second marshal must reproduce the bytes exactly.
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("re-marshal differs:\n%s\n%s", data, data2)
+	}
+}
+
+func TestSetUnmarshalRejectsUnknownMetric(t *testing.T) {
+	var s Set
+	err := json.Unmarshal([]byte(`[{"name": "test_not_registered", "value": 1}]`), &s)
+	if err == nil || !strings.Contains(err.Error(), "unknown metric") {
+		t.Fatalf("unknown metric accepted: %v", err)
 	}
 }

@@ -173,6 +173,14 @@ func VCPUsOf(s workload.AppSpec) int {
 
 func vcpusOf(s workload.AppSpec) int { return VCPUsOf(s) }
 
+// Sanity caps on generator sizes: a typo (or a fuzzer) asking for a
+// billion vCPUs or arrivals must fail validation, not exhaust memory
+// expanding the population.
+const (
+	maxGenVCPUs      = 1 << 16
+	maxChurnArrivals = 1 << 16
+)
+
 // Validate reports an error for an unexpandable generator spec.
 func (g *GenSpec) Validate() error {
 	topo := g.Topo
@@ -184,6 +192,9 @@ func (g *GenSpec) Validate() error {
 	}
 	if g.VCPUs < 1 {
 		return fmt.Errorf("scenario: generator %q: vCPU budget must be ≥ 1, got %d", g.Name, g.VCPUs)
+	}
+	if g.VCPUs > maxGenVCPUs {
+		return fmt.Errorf("scenario: generator %q: vCPU budget %d exceeds the %d sanity cap", g.Name, g.VCPUs, maxGenVCPUs)
 	}
 	if g.OverSub < 0 || math.IsNaN(g.OverSub) || math.IsInf(g.OverSub, 0) {
 		return fmt.Errorf("scenario: generator %q: over-subscription ratio %v must be positive", g.Name, g.OverSub)
@@ -232,6 +243,9 @@ func (g *GenSpec) Validate() error {
 			return fmt.Errorf("scenario: generator %q: churn min lifetime and max VMs must be non-negative", g.Name)
 		case len(g.Mix) == 0 && len(g.Phases) == 0:
 			return fmt.Errorf("scenario: generator %q: churn needs a mix or phases to draw VMs from", g.Name)
+		}
+		if expected := c.Rate * (c.Horizon - c.effectiveStart()).Seconds(); expected > maxChurnArrivals {
+			return fmt.Errorf("scenario: generator %q: churn expects ~%.0f arrivals, more than the %d sanity cap", g.Name, expected, maxChurnArrivals)
 		}
 	}
 	return nil

@@ -1,0 +1,220 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"aqlsched/internal/atomicio"
+	"aqlsched/internal/metrics"
+	"aqlsched/internal/scenario"
+)
+
+// Journal is the crash-safety layer of a sweep: every successfully
+// completed run is checkpointed to its own file (written atomically),
+// so a sweep killed mid-flight can be resumed with the completed cells
+// skipped. Cells are independent and deterministic, which is what makes
+// a restored result indistinguishable from a re-executed one — the
+// resumed sweep's artifacts are byte-identical to an uninterrupted
+// run's.
+//
+// On disk a journal is a directory:
+//
+//	manifest.json   identity: sweep name, spec fingerprint, spec source
+//	run-00042.json  one checkpointed run (expansion index 42)
+type Journal struct {
+	dir      string
+	restored map[int]RunResult
+}
+
+// Manifest identifies the sweep a journal belongs to. The fingerprint
+// pins the exact spec (resuming against an edited spec must fail, not
+// silently mix grids); the embedded source lets -resume <dir> rebuild
+// the sweep without re-supplying the original flags.
+type Manifest struct {
+	// Name is the sweep name (diagnostic).
+	Name string `json:"name"`
+	// Fingerprint is the hex SHA-256 of the spec source.
+	Fingerprint string `json:"fingerprint"`
+	// Builtin names a built-in sweep, or "" when SpecJSON is set.
+	Builtin string `json:"builtin,omitempty"`
+	// SpecJSON holds the spec-file bytes for file-driven sweeps. It is a
+	// string, not a json.RawMessage, on purpose: the fingerprint covers
+	// these exact bytes, and embedding them as a JSON string survives the
+	// manifest's own indent/parse round trip byte-for-byte, which raw
+	// embedding does not.
+	SpecJSON string `json:"spec_json,omitempty"`
+	// Seeds, BaseSeed, WarmupNS and MeasureNS snapshot the effective
+	// overrides applied when the journal was created, so a resume
+	// reconstructs the exact same grid without re-supplying the flags.
+	Seeds     int    `json:"seeds"`
+	BaseSeed  uint64 `json:"base_seed"`
+	WarmupNS  int64  `json:"warmup_ns"`
+	MeasureNS int64  `json:"measure_ns"`
+	// Runs is the expanded matrix size (a sanity check on open).
+	Runs int `json:"runs"`
+}
+
+// FingerprintBuiltin fingerprints a built-in sweep reference.
+func FingerprintBuiltin(name string) string {
+	return fingerprint([]byte("builtin:" + name))
+}
+
+// FingerprintSpec fingerprints raw spec-file bytes.
+func FingerprintSpec(data []byte) string {
+	return fingerprint(data)
+}
+
+func fingerprint(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// runRecord is the serialized form of one completed run: the grid
+// coordinates plus everything aggregation (and therefore every emitted
+// artifact) reads. Policy instances and raw simulation state are
+// deliberately not journaled — they are diagnostics of a live run.
+type runRecord struct {
+	Index       int                   `json:"index"`
+	ScenarioIdx int                   `json:"scenario_idx"`
+	PolicyIdx   int                   `json:"policy_idx"`
+	SeedIdx     int                   `json:"seed_idx"`
+	Scenario    string                `json:"scenario"`
+	Policy      string                `json:"policy"`
+	Seed        uint64                `json:"seed"`
+	Apps        []scenario.AppMeasure `json:"apps,omitempty"`
+	PerVM       []scenario.AppMeasure `json:"per_vm,omitempty"`
+	Metrics     metrics.Set           `json:"metrics"`
+}
+
+// CreateJournal initializes a journal directory (creating it as needed)
+// and writes the manifest. An existing manifest for a different
+// fingerprint is an error: one directory belongs to one sweep.
+func CreateJournal(dir string, m Manifest) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	mpath := filepath.Join(dir, "manifest.json")
+	if old, err := readManifest(mpath); err == nil {
+		if old.Fingerprint != m.Fingerprint {
+			return nil, fmt.Errorf("sweep: journal %s belongs to another spec (fingerprint %.12s… != %.12s…)",
+				dir, old.Fingerprint, m.Fingerprint)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("sweep: journal %s: %v", dir, err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := atomicio.WriteFile(mpath, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return &Journal{dir: dir, restored: map[int]RunResult{}}, nil
+}
+
+// OpenJournal loads an existing journal: the manifest plus every intact
+// run checkpoint. A checkpoint that fails to parse is skipped (its run
+// simply re-executes) — atomic writes make that near-impossible, but a
+// resume must never be wedged by one bad file.
+func OpenJournal(dir string) (*Journal, *Manifest, error) {
+	m, err := readManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: journal %s: %v", dir, err)
+	}
+	j := &Journal{dir: dir, restored: map[int]RunResult{}}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if n := e.Name(); len(n) > 4 && n[:4] == "run-" && filepath.Ext(n) == ".json" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			continue
+		}
+		var rec runRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			continue
+		}
+		if rec.Index < 0 || rec.Index >= m.Runs {
+			continue
+		}
+		j.restored[rec.Index] = RunResult{
+			Run: Run{
+				Index:       rec.Index,
+				ScenarioIdx: rec.ScenarioIdx,
+				PolicyIdx:   rec.PolicyIdx,
+				SeedIdx:     rec.SeedIdx,
+				Scenario:    rec.Scenario,
+				Policy:      rec.Policy,
+				Seed:        rec.Seed,
+			},
+			Apps:    rec.Apps,
+			PerVM:   rec.PerVM,
+			Metrics: rec.Metrics,
+		}
+	}
+	return j, m, nil
+}
+
+func readManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Restored returns the checkpointed result of run idx, if present.
+func (j *Journal) Restored(idx int) (RunResult, bool) {
+	rr, ok := j.restored[idx]
+	return rr, ok
+}
+
+// RestoredCount reports how many runs the journal restored.
+func (j *Journal) RestoredCount() int { return len(j.restored) }
+
+// Dir is the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Record checkpoints one successfully completed run. Failed runs are
+// not recorded — a resume retries them. The write is atomic, so a
+// process killed here leaves either a complete checkpoint or none.
+func (j *Journal) Record(rr *RunResult) error {
+	if rr.Err != nil {
+		return nil
+	}
+	rec := runRecord{
+		Index:       rr.Index,
+		ScenarioIdx: rr.ScenarioIdx,
+		PolicyIdx:   rr.PolicyIdx,
+		SeedIdx:     rr.SeedIdx,
+		Scenario:    rr.Scenario,
+		Policy:      rr.Policy,
+		Seed:        rr.Seed,
+		Apps:        rr.Apps,
+		PerVM:       rr.PerVM,
+		Metrics:     rr.Metrics,
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(j.dir, fmt.Sprintf("run-%05d.json", rr.Index))
+	return atomicio.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -225,6 +225,9 @@ type FleetBlock struct {
 	Churn *ChurnBlock `json:"churn,omitempty"`
 	// Rebalance parameterizes the live-migration trigger.
 	Rebalance *RebalanceBlock `json:"rebalance,omitempty"`
+	// Faults injects host crashes, transient degradation and migration
+	// failures on a seeded schedule.
+	Faults *FaultsBlock `json:"faults,omitempty"`
 	// Seed drives the population draws (default: the file's base seed),
 	// independent of the per-run simulation seeds.
 	Seed uint64 `json:"seed,omitempty"`
@@ -236,6 +239,114 @@ type RebalanceBlock struct {
 	Threshold   float64 `json:"threshold,omitempty"`
 	MigrationMS int64   `json:"migration_ms,omitempty"`
 	MaxPerTick  int     `json:"max_per_tick,omitempty"`
+}
+
+// FaultsBlock is the spec-file form of fleet.FaultPlan: explicit and
+// storm-drawn host crashes and degradations, a migration failure
+// probability, and the recovery policy.
+type FaultsBlock struct {
+	// Seed drives the storm draws (default: the population seed, so
+	// replications share the fault schedule like they share the
+	// population).
+	Seed uint64 `json:"seed,omitempty"`
+	// Crashes and Degrades are explicit, hand-placed fault events.
+	Crashes  []CrashBlock   `json:"crashes,omitempty"`
+	Degrades []DegradeBlock `json:"degrades,omitempty"`
+	// CrashStorm and DegradeStorm draw seeded Poisson fault schedules.
+	CrashStorm   *StormBlock `json:"crash_storm,omitempty"`
+	DegradeStorm *StormBlock `json:"degrade_storm,omitempty"`
+	// MigFailProb fails each completing live migration with this
+	// probability.
+	MigFailProb float64 `json:"migration_fail_prob,omitempty"`
+	// Recovery tunes the re-placement of crash victims.
+	Recovery *RecoveryBlock `json:"recovery,omitempty"`
+}
+
+// CrashBlock is one explicit host crash: host dies at at_ms and
+// recovers down_ms later (0 = never).
+type CrashBlock struct {
+	Host   int   `json:"host"`
+	AtMS   int64 `json:"at_ms"`
+	DownMS int64 `json:"down_ms,omitempty"`
+}
+
+// DegradeBlock is one explicit transient degradation: from at_ms for
+// for_ms the host admits only factor × its nominal capacity.
+type DegradeBlock struct {
+	Host   int     `json:"host"`
+	AtMS   int64   `json:"at_ms"`
+	ForMS  int64   `json:"for_ms"`
+	Factor float64 `json:"factor"`
+}
+
+// StormBlock draws a Poisson fault schedule: events at rate_per_sec
+// from start_ms to horizon_ms, each lasting an exponential
+// mean_down_ms; factor applies to degrade storms only; max, when
+// positive, caps the event count.
+type StormBlock struct {
+	RatePerSec float64 `json:"rate_per_sec"`
+	StartMS    int64   `json:"start_ms,omitempty"`
+	HorizonMS  int64   `json:"horizon_ms"`
+	MeanDownMS int64   `json:"mean_down_ms"`
+	Factor     float64 `json:"factor,omitempty"`
+	Max        int     `json:"max,omitempty"`
+}
+
+// RecoveryBlock is the spec-file form of fleet.Recovery: bounded
+// retries with exponential backoff, then requeue or drop.
+type RecoveryBlock struct {
+	MaxRetries   int     `json:"max_retries,omitempty"`
+	RetryDelayMS int64   `json:"retry_delay_ms,omitempty"`
+	Backoff      float64 `json:"backoff,omitempty"`
+	OnExhaust    string  `json:"on_exhaust,omitempty"`
+}
+
+// plan converts the block into the fleet's FaultPlan.
+func (fb *FaultsBlock) plan() *fleet.FaultPlan {
+	p := &fleet.FaultPlan{
+		Seed:        fb.Seed,
+		MigFailProb: fb.MigFailProb,
+	}
+	for _, c := range fb.Crashes {
+		p.Crashes = append(p.Crashes, fleet.Crash{
+			Host: c.Host,
+			At:   sim.Time(c.AtMS) * sim.Millisecond,
+			Down: sim.Time(c.DownMS) * sim.Millisecond,
+		})
+	}
+	for _, d := range fb.Degrades {
+		p.Degrades = append(p.Degrades, fleet.Degrade{
+			Host:   d.Host,
+			At:     sim.Time(d.AtMS) * sim.Millisecond,
+			For:    sim.Time(d.ForMS) * sim.Millisecond,
+			Factor: d.Factor,
+		})
+	}
+	storm := func(s *StormBlock) *fleet.Storm {
+		return &fleet.Storm{
+			Rate:     s.RatePerSec,
+			Start:    sim.Time(s.StartMS) * sim.Millisecond,
+			Horizon:  sim.Time(s.HorizonMS) * sim.Millisecond,
+			MeanDown: sim.Time(s.MeanDownMS) * sim.Millisecond,
+			Factor:   s.Factor,
+			Max:      s.Max,
+		}
+	}
+	if fb.CrashStorm != nil {
+		p.CrashStorm = storm(fb.CrashStorm)
+	}
+	if fb.DegradeStorm != nil {
+		p.DegradeStorm = storm(fb.DegradeStorm)
+	}
+	if r := fb.Recovery; r != nil {
+		p.Recovery = fleet.Recovery{
+			MaxRetries: r.MaxRetries,
+			RetryDelay: sim.Time(r.RetryDelayMS) * sim.Millisecond,
+			Backoff:    r.Backoff,
+			OnExhaust:  r.OnExhaust,
+		}
+	}
+	return p
 }
 
 // PlacementList accepts either a JSON string or a list of strings.
@@ -494,6 +605,9 @@ func (f *File) fleetAxis(i int, fb *FleetBlock) ([]Scenario, error) {
 			MaxPerTick:    r.MaxPerTick,
 		}
 	}
+	if fb.Faults != nil {
+		base.Faults = fb.Faults.plan()
+	}
 
 	var out []Scenario
 	for _, pl := range placements {
@@ -732,6 +846,64 @@ var builtins = map[string]func() *Spec{
 				},
 			}}},
 			Policies:  []string{"xen"},
+			WarmupMS:  300,
+			MeasureMS: 700,
+		})
+	},
+	// faultfleet demonstrates the failure-injection layer end to end: a
+	// 20-host fleet under a crash storm, a degradation storm, flaky live
+	// migrations and the default recovery policy. It must stay identical
+	// to the committed examples/specs/faultfleet.json (the CI resume
+	// smoke spec) — the sweep tests assert the equivalence.
+	"faultfleet": func() *Spec {
+		return mustFile(File{
+			Name: "faultfleet",
+			Scenarios: []ScenarioRef{{Fleet: &FleetBlock{
+				Name:      "storm20",
+				Hosts:     20,
+				OverSub:   3,
+				Placement: PlacementList{"least-loaded", "bin-pack"},
+				Tenants:   map[string]float64{"alpha": 2, "beta": 1},
+				VCPUs:     480,
+				Mix: map[string]float64{
+					"IOInt": 0.25, "ConSpin": 0.25, "LLCF": 0.2, "LLCO": 0.15, "LoLCF": 0.15,
+				},
+				Churn: &ChurnBlock{
+					RatePerSec: 20,
+					MeanLifeMS: 400,
+					MinLifeMS:  100,
+					HorizonMS:  900,
+				},
+				Rebalance: &RebalanceBlock{
+					EveryMS:     100,
+					Threshold:   0.05,
+					MigrationMS: 40,
+					MaxPerTick:  4,
+				},
+				Faults: &FaultsBlock{
+					CrashStorm: &StormBlock{
+						RatePerSec: 6,
+						StartMS:    300,
+						HorizonMS:  900,
+						MeanDownMS: 150,
+					},
+					DegradeStorm: &StormBlock{
+						RatePerSec: 4,
+						HorizonMS:  1000,
+						MeanDownMS: 200,
+						Factor:     0.5,
+					},
+					MigFailProb: 0.2,
+					Recovery: &RecoveryBlock{
+						MaxRetries:   4,
+						RetryDelayMS: 10,
+						Backoff:      2,
+						OnExhaust:    "requeue",
+					},
+				},
+			}}},
+			Policies:  []string{"xen"},
+			Seeds:     2,
 			WarmupMS:  300,
 			MeasureMS: 700,
 		})

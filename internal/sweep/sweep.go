@@ -217,6 +217,17 @@ type Options struct {
 	// KeepRaw retains every run's full *scenario.Result (hypervisor,
 	// deployments). Costly on big grids; off by default.
 	KeepRaw bool
+	// Journal, when non-nil, checkpoints every completed run and skips
+	// runs the journal already holds — the crash-safe resume path.
+	Journal *Journal
+	// RunTimeout, when positive, bounds each run's wall-clock time: a
+	// run still executing after the timeout is marked FAILED (the sweep
+	// continues) instead of wedging the pool. The timed-out goroutine is
+	// abandoned — simulation runs have no cancellation points — so a
+	// sweep with many timeouts leaks their memory until exit; the
+	// watchdog exists to let a long sweep finish, not to make hangs
+	// cheap.
+	RunTimeout time.Duration
 }
 
 // EffectiveWorkers reports the pool size Exec will use before
@@ -295,15 +306,33 @@ func Exec(spec *Spec, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				results[idx] = execOne(spec, runs[idx], opts.KeepRaw)
+				status := ""
+				if opts.Journal != nil {
+					if rr, ok := opts.Journal.Restored(idx); ok {
+						results[idx] = rr
+						status = "skipped (journaled)"
+					}
+				}
+				if status == "" {
+					results[idx] = execWatched(spec, runs[idx], opts)
+					rr := &results[idx]
+					if rr.Err != nil {
+						status = "FAILED: " + rr.Err.Error()
+					} else {
+						status = "ok"
+						if opts.Journal != nil {
+							if err := opts.Journal.Record(rr); err != nil && opts.Progress != nil {
+								mu.Lock()
+								fmt.Fprintf(opts.Progress, "sweep %s: journal write failed: %v\n", spec.Name, err)
+								mu.Unlock()
+							}
+						}
+					}
+				}
 				if opts.Progress != nil {
 					mu.Lock()
 					done++
 					rr := &results[idx]
-					status := "ok"
-					if rr.Err != nil {
-						status = "FAILED: " + rr.Err.Error()
-					}
 					fmt.Fprintf(opts.Progress, "sweep %s: [%d/%d] %s/%s seed#%d %s (%v)\n",
 						spec.Name, done, len(runs), rr.Scenario, rr.Policy, rr.SeedIdx,
 						status, rr.Elapsed.Round(time.Millisecond))
@@ -332,6 +361,31 @@ func Exec(spec *Spec, opts Options) (*Result, error) {
 	}
 	res.Cells = aggregate(spec, results)
 	return res, nil
+}
+
+// execWatched runs one grid cell replication under the per-run
+// watchdog: a run exceeding Options.RunTimeout is marked FAILED so a
+// single hung configuration cannot wedge the whole sweep. The hung
+// goroutine is abandoned (see Options.RunTimeout); its late result is
+// received by nobody thanks to the buffered channel.
+func execWatched(spec *Spec, run Run, opts Options) RunResult {
+	if opts.RunTimeout <= 0 {
+		return execOne(spec, run, opts.KeepRaw)
+	}
+	ch := make(chan RunResult, 1)
+	go func() { ch <- execOne(spec, run, opts.KeepRaw) }()
+	timer := time.NewTimer(opts.RunTimeout)
+	defer timer.Stop()
+	select {
+	case rr := <-ch:
+		return rr
+	case <-timer.C:
+		return RunResult{
+			Run:     run,
+			Err:     fmt.Errorf("run %s/%s seed#%d timed out after %v", run.Scenario, run.Policy, run.SeedIdx, opts.RunTimeout),
+			Elapsed: opts.RunTimeout,
+		}
+	}
 }
 
 // execOne runs one grid cell replication, converting panics into an
