@@ -65,6 +65,7 @@ func main() {
 		listMetrics = flag.Bool("list-metrics", false, "list the metric registry (name, unit, direction, aggregation, scope), then exit")
 		metricsSel  = flag.String("metrics", "", "comma-separated metric names to emit (default: all; see -list-metrics)")
 		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		fleetWork   = flag.Int("fleet-workers", 0, "shard each fleet run's host advances across this many goroutines (0 = the spec's hint, else GOMAXPROCS; 1 = serial; results are byte-identical at any value)")
 		out         = flag.String("out", "", "output directory for <name>.json/.csv/.txt artifacts (also enables the crash-safe run journal)")
 		resume      = flag.String("resume", "", "resume an interrupted sweep from its journal directory (<out>/<name>.journal); journaled runs are skipped")
 		runTimeout  = flag.Duration("run-timeout", 10*time.Minute, "per-run watchdog: a run still executing after this is marked FAILED (0 disables)")
@@ -159,13 +160,17 @@ func main() {
 		}
 	}
 
-	opts := sweep.Options{Workers: *workers, Journal: journal, RunTimeout: *runTimeout}
+	opts := sweep.Options{Workers: *workers, FleetWorkers: *fleetWork, Journal: journal, RunTimeout: *runTimeout}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
 	runs := len(spec.Runs())
-	fmt.Fprintf(os.Stderr, "aqlsweep: %s — %d runs (%d scenarios x %d policies x %d seeds), workers=%d\n",
+	header := fmt.Sprintf("aqlsweep: %s — %d runs (%d scenarios x %d policies x %d seeds), workers=%d",
 		spec.Name, runs, len(spec.Scenarios), len(spec.Policies), max(spec.Seeds, 1), opts.EffectiveWorkers())
+	if opts.FleetWorkers > 0 {
+		header += fmt.Sprintf(", fleet-workers=%d", opts.FleetWorkers)
+	}
+	fmt.Fprintln(os.Stderr, header)
 
 	// Start profiling only once the sweep is actually about to run, so
 	// argument errors never leave truncated profile files behind; flush

@@ -17,8 +17,8 @@ import (
 // Host is one machine of the fleet: a private hypervisor (with its own
 // engine, scheduler and policy instance) plus the fleet-level admission
 // state. Host engines advance independently between fleet events, so
-// they never observe each other's intermediate state — the enabling
-// property for the roadmap's per-host-goroutine sharding.
+// they never observe each other's intermediate state — the property
+// the epoch-parallel run loop in parallel.go builds on.
 type Host struct {
 	ID  int
 	Hyp *xen.Hypervisor
@@ -220,6 +220,12 @@ type Fleet struct {
 	heap []event
 	seq  int
 
+	// pool, when non-nil, shards per-host engine advancement across
+	// worker goroutines at every epoch barrier (see parallel.go). It is
+	// execution machinery only: results are byte-identical with or
+	// without it.
+	pool *advancePool
+
 	// Fault state: faults is the plan with defaults applied (nil when
 	// the spec injects none); faultRNG drives the per-run migration
 	// failure draws, consumed in central-timeline order.
@@ -249,6 +255,11 @@ type Options struct {
 	// (nil = the unmodified credit scheduler). Each host gets its own
 	// instance so policies that capture controllers stay host-local.
 	NewPolicy func() scenario.Policy
+	// Workers bounds the shard-worker pool advancing host engines in
+	// parallel between fleet events (0 = the spec's Workers hint, else
+	// GOMAXPROCS; 1 = the serial loop; capped at the host count).
+	// Results are byte-identical at any value.
+	Workers int
 }
 
 // Result is one executed fleet run: per-tenant measures (the fleet's
@@ -315,11 +326,25 @@ func Run(spec Spec, opts Options) *Result {
 		})
 	}
 
+	var faultTimeline []faultEvent
 	if sp.Faults != nil {
 		fp := sp.Faults.withDefaults(sp.GenSeed)
 		f.faults = &fp
 		f.faultRNG = sim.NewRNG(sp.Seed).Fork(0xFA11)
+		faultTimeline = f.faults.timeline(sp.Hosts)
 	}
+
+	// Size the timeline heap and VM table from the spec-derived event
+	// counts: every arrival, its eventual departure, the measure-start
+	// barrier, the rebalance ticks and the fault schedule are known up
+	// front, so the heap never regrows during the initial burst.
+	ticks := 0
+	if sp.Rebalance.Every > 0 {
+		ticks = int(f.end / sp.Rebalance.Every)
+	}
+	f.heap = make([]event, 0, 2*len(vms)+ticks+len(faultTimeline)+1)
+	f.VMs = make([]*VM, 0, len(vms))
+	f.pending = make([]*VM, 0, len(vms))
 
 	for i := range vms {
 		vm := &VM{ID: i, VMSpec: vms[i]}
@@ -330,26 +355,26 @@ func Run(spec Spec, opts Options) *Result {
 	for t := sp.Rebalance.Every; t < f.end; t += sp.Rebalance.Every {
 		f.push(event{at: t, kind: evTick})
 	}
-	if f.faults != nil {
-		for _, fe := range f.faults.timeline(sp.Hosts) {
-			kind := evDegrade
-			if fe.crash {
-				kind = evCrash
-			}
-			f.push(event{at: fe.at, kind: kind, src: f.Hosts[fe.host], dur: fe.dur, factor: fe.factor})
+	for _, fe := range faultTimeline {
+		kind := evDegrade
+		if fe.crash {
+			kind = evCrash
 		}
+		f.push(event{at: fe.at, kind: kind, src: f.Hosts[fe.host], dur: fe.dur, factor: fe.factor})
 	}
 
-	for len(f.heap) > 0 {
-		e := f.pop()
-		if e.at > f.end {
-			break
-		}
-		f.handle(e)
+	if workers := resolveWorkers(opts.Workers, sp.Workers, sp.Hosts); workers > 1 {
+		pool := newAdvancePool(workers)
+		f.pool = pool
+		// Release the workers on every exit path (including a propagated
+		// host panic) and detach the pool: the Fleet outlives Run inside
+		// Result.Fleet, and nothing after this point may use barriers.
+		defer func() {
+			f.pool = nil
+			pool.close()
+		}()
 	}
-	for _, h := range f.Hosts {
-		h.advance(f.end)
-	}
+	f.run()
 	for _, vm := range f.VMs {
 		if vm.Placed && !vm.Gone {
 			f.settle(vm, f.end)
@@ -374,9 +399,9 @@ func (f *Fleet) handle(e event) {
 	case evMeasureStart:
 		// One global barrier: every host advances to the window edge so
 		// attained-time watermarks are read at one consistent instant.
-		for _, h := range f.Hosts {
-			h.advance(e.at)
-		}
+		// (In epoch mode the epoch barrier already did this; these
+		// advances are then no-ops.)
+		f.advanceAll(e.at)
 		for _, vm := range f.VMs {
 			if vm.Placed && !vm.Gone {
 				vm.baseRun = f.attained(vm, e.at)

@@ -231,6 +231,11 @@ type FleetBlock struct {
 	// Seed drives the population draws (default: the file's base seed),
 	// independent of the per-run simulation seeds.
 	Seed uint64 `json:"seed,omitempty"`
+	// Workers hints the shard-worker count for each run of this fleet
+	// (0 = GOMAXPROCS, 1 = serial). An execution knob only — results
+	// are byte-identical at any value — and overridden by the
+	// -fleet-workers flag / sweep.Options.FleetWorkers when set.
+	Workers int `json:"workers,omitempty"`
 }
 
 // RebalanceBlock is the spec-file form of fleet.Rebalance.
@@ -586,6 +591,7 @@ func (f *File) fleetAxis(i int, fb *FleetBlock) ([]Scenario, error) {
 		VCPUs:   fb.VCPUs,
 		Mix:     fb.Mix,
 		GenSeed: seed,
+		Workers: fb.Workers,
 	}
 	if c := fb.Churn; c != nil {
 		base.Churn = &scenario.ChurnSpec{

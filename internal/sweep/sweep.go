@@ -228,6 +228,13 @@ type Options struct {
 	// watchdog exists to let a long sweep finish, not to make hangs
 	// cheap.
 	RunTimeout time.Duration
+	// FleetWorkers shards each fleet run's host advances across this
+	// many goroutines (0 = the fleet spec's hint, else GOMAXPROCS;
+	// 1 = serial). Like Workers it never changes results — fleet runs
+	// are byte-identical at any shard count — and it composes with
+	// Workers: a sweep may run cells in parallel while each fleet cell
+	// shards internally.
+	FleetWorkers int
 }
 
 // EffectiveWorkers reports the pool size Exec will use before
@@ -370,10 +377,10 @@ func Exec(spec *Spec, opts Options) (*Result, error) {
 // received by nobody thanks to the buffered channel.
 func execWatched(spec *Spec, run Run, opts Options) RunResult {
 	if opts.RunTimeout <= 0 {
-		return execOne(spec, run, opts.KeepRaw)
+		return execOne(spec, run, opts)
 	}
 	ch := make(chan RunResult, 1)
-	go func() { ch <- execOne(spec, run, opts.KeepRaw) }()
+	go func() { ch <- execOne(spec, run, opts) }()
 	timer := time.NewTimer(opts.RunTimeout)
 	defer timer.Stop()
 	select {
@@ -390,7 +397,7 @@ func execWatched(spec *Spec, run Run, opts Options) RunResult {
 
 // execOne runs one grid cell replication, converting panics into an
 // error so a single bad configuration cannot sink a long sweep.
-func execOne(spec *Spec, run Run, keepRaw bool) (rr RunResult) {
+func execOne(spec *Spec, run Run, opts Options) (rr RunResult) {
 	rr.Run = run
 	start := time.Now()
 	defer func() {
@@ -415,7 +422,10 @@ func execOne(spec *Spec, run Run, keepRaw bool) (rr RunResult) {
 		if spec.Measure > 0 {
 			fs.Measure = spec.Measure
 		}
-		res := fleet.Run(*fs, fleet.Options{NewPolicy: spec.Policies[run.PolicyIdx].New})
+		res := fleet.Run(*fs, fleet.Options{
+			NewPolicy: spec.Policies[run.PolicyIdx].New,
+			Workers:   opts.FleetWorkers,
+		})
 		rr.Apps = res.Apps
 		rr.Metrics = res.Metrics
 		return rr
@@ -436,7 +446,7 @@ func execOne(spec *Spec, run Run, keepRaw bool) (rr RunResult) {
 	rr.PerVM = res.PerVM
 	rr.Metrics = res.Metrics
 	rr.Instance = pol
-	if keepRaw {
+	if opts.KeepRaw {
 		rr.Raw = res
 	} else if ctl := rr.Controller(); ctl != nil {
 		// Keep the controller's diagnostics (LastPlan, Reclusters) but
