@@ -54,6 +54,7 @@ import (
 
 	"aqlsched/internal/atomicio"
 	"aqlsched/internal/catalog"
+	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
 	"aqlsched/internal/sweep"
 )
@@ -238,8 +239,16 @@ func printCatalog(w io.Writer) {
 	fmt.Fprintln(w, "\nworkloads (for \"apps\" lists in generator blocks):")
 	fmt.Fprintf(w, "  %s\n", strings.Join(catalog.Workloads.Names(), " "))
 
-	fmt.Fprintln(w, "\npolicies:")
-	fmt.Fprintf(w, "  %s\n", strings.Join(catalog.PolicyGrammar(), " "))
+	fmt.Fprintln(w, "\npolicies (strings like \"fixed:5ms\", or {\"policy\": {\"name\": ..., \"params\": {...}}} spec-file blocks):")
+	for _, d := range catalog.PolicyPlugins() {
+		fmt.Fprintf(w, "  %-16s %s\n", d.Name, d.Help)
+		if len(d.Aliases) > 0 {
+			fmt.Fprintf(w, "  %-16s aliases: %s\n", "", strings.Join(d.Aliases, ", "))
+		}
+		for _, p := range d.Params {
+			fmt.Fprintf(w, "  %-16s %s\n", "", fmtPolicyParam(p, d.Positional))
+		}
+	}
 
 	// Axes registered by layers above the core catalog (the fleet's
 	// placement policies, and whatever comes next).
@@ -257,6 +266,40 @@ func printCatalog(w io.Writer) {
 
 	fmt.Fprintln(w, "\nmetrics: -list-metrics prints the measurement registry; -metrics name,... selects emitted columns.")
 	fmt.Fprintln(w, "\nSee EXPERIMENTS.md \"Authoring custom scenarios\" for the spec-file schema.")
+}
+
+// fmtPolicyParam renders one policy parameter line for -list: name,
+// kind/hint, bounds, default, and whether it may be spelled bare
+// ("fixed:5ms" instead of "fixed:q=5ms").
+func fmtPolicyParam(p scenario.ParamDesc, positional string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s=%s (%s", p.Name, p.GrammarHint(), p.Kind)
+	if p.Min != "" || p.Max != "" {
+		min, max := p.Min, p.Max
+		if min == "" {
+			min = "-"
+		}
+		if max == "" {
+			max = "-"
+		}
+		fmt.Fprintf(&b, " in [%s, %s]", min, max)
+	}
+	if p.Required {
+		b.WriteString(", required")
+	} else if p.Default != "" {
+		fmt.Fprintf(&b, ", default %s", p.Default)
+	} else {
+		b.WriteString(", optional")
+	}
+	if p.Name == positional {
+		b.WriteString(", positional")
+	}
+	b.WriteString(")")
+	if p.Help != "" {
+		b.WriteString(": ")
+		b.WriteString(p.Help)
+	}
+	return b.String()
 }
 
 // printMetrics lists the measurement registry: every metric the

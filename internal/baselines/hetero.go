@@ -1,0 +1,176 @@
+package baselines
+
+import (
+	"aqlsched/internal/core"
+	"aqlsched/internal/hw"
+	"aqlsched/internal/metrics"
+	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
+	"aqlsched/internal/workload"
+	"aqlsched/internal/xen"
+)
+
+// HeteroAQL is the heterogeneous-topology consumer of the AQL
+// machinery: on machines whose core classes differ it pins the
+// (manually identified, as for vTurbo) latency-sensitive vCPUs to a
+// pool over the fastest core class at a small quantum, and everything
+// else to the remaining cores at the default quantum. On homogeneous
+// machines — or when the fast class would leave no cores for the rest —
+// it degrades to the plain AQL controller, so one spelling works across
+// a mixed topology axis.
+type HeteroAQL struct {
+	// FastQ is the fast-class pool's quantum (default 1 ms).
+	FastQ sim.Time
+	// Out receives the fallback AQL controller for post-run inspection
+	// (nil on heterogeneous machines, where assignment is static).
+	Out **core.Controller
+}
+
+// Name implements the scenario policy interface.
+func (p HeteroAQL) Name() string {
+	if q := p.fastQ(); q != sim.Millisecond {
+		return "hetero-aql-" + q.String()
+	}
+	return "hetero-aql"
+}
+
+func (p HeteroAQL) fastQ() sim.Time {
+	if p.FastQ <= 0 {
+		return sim.Millisecond
+	}
+	return p.FastQ
+}
+
+// FastPCPUs lists the guest pCPUs of h's fastest core class, or nil
+// when the topology gives hetero placement nothing to work with (no
+// classes, or no slower cores left over). Exposed for placement tests.
+func (p HeteroAQL) FastPCPUs(h *xen.Hypervisor) []hw.PCPUID {
+	topo := h.Topo
+	if !topo.Heterogeneous() {
+		return nil
+	}
+	fastest := topo.FastestClass()
+	var fast, rest []hw.PCPUID
+	for _, pc := range h.GuestPCPUs() {
+		if topo.ClassOf(pc) == fastest {
+			fast = append(fast, pc)
+		} else {
+			rest = append(rest, pc)
+		}
+	}
+	if len(fast) == 0 || len(rest) == 0 {
+		return nil
+	}
+	return fast
+}
+
+// Setup implements the scenario policy interface.
+func (p HeteroAQL) Setup(h *xen.Hypervisor, deps []*workload.Deployment) {
+	fast := p.FastPCPUs(h)
+	if fast == nil {
+		AQL{Out: p.Out}.Setup(h, deps)
+		return
+	}
+	topo, fastest := h.Topo, h.Topo.FastestClass()
+	var rest []hw.PCPUID
+	for _, pc := range h.GuestPCPUs() {
+		if topo.ClassOf(pc) != fastest {
+			rest = append(rest, pc)
+		}
+	}
+	fastPool := xen.NewCPUPool("fast", p.fastQ(), fast)
+	slowPool := xen.NewCPUPool("slow", xen.DefaultSlice, rest)
+	plan := &xen.PoolPlan{Pools: []*xen.CPUPool{fastPool, slowPool}, Assign: map[*xen.VCPU]*xen.CPUPool{}}
+	io := ioVCPUs(deps)
+	for _, vc := range h.AllVCPUs() {
+		if io[vc] {
+			plan.Assign[vc] = fastPool
+		} else {
+			plan.Assign[vc] = slowPool
+		}
+	}
+	if err := h.ApplyPlan(plan, h.Engine.Now()); err != nil {
+		panic("baselines: " + err.Error())
+	}
+}
+
+// AQLController implements scenario.ControllerProvider for the
+// homogeneous fallback.
+func (p HeteroAQL) AQLController() *core.Controller {
+	if p.Out == nil {
+		return nil
+	}
+	return *p.Out
+}
+
+// EDFStats counts deadline accounting across one policy instance's run.
+type EDFStats struct {
+	Misses     uint64
+	Dispatches uint64
+}
+
+// EDF is the deadline-aware quantum policy from the real-time
+// scheduling axis: every vCPU shares one pool whose quantum derives
+// from the deadline (half of it, clamped to the Xen default slice), so
+// with k runnable vCPUs per core the worst-case scheduling delay stays
+// near (k-1)·deadline/2. Every dispatch's delay-since-runnable is
+// checked against the deadline and reported as deadline_miss_ratio.
+type EDF struct {
+	// Deadline is the per-dispatch scheduling-delay bound.
+	Deadline sim.Time
+	// Stats receives the miss/dispatch counters (fresh per run).
+	Stats *EDFStats
+}
+
+// Name implements the scenario policy interface.
+func (e EDF) Name() string { return "edf-" + e.Deadline.String() }
+
+// Quantum reports the deadline-derived pool quantum.
+func (e EDF) Quantum() sim.Time {
+	q := e.Deadline / 2
+	if q < 1 {
+		q = 1
+	}
+	if q > xen.DefaultSlice {
+		q = xen.DefaultSlice
+	}
+	return q
+}
+
+// Setup implements the scenario policy interface.
+func (e EDF) Setup(h *xen.Hypervisor, deps []*workload.Deployment) {
+	pool := xen.NewCPUPool("edf", e.Quantum(), h.GuestPCPUs())
+	plan := &xen.PoolPlan{Pools: []*xen.CPUPool{pool}, Assign: map[*xen.VCPU]*xen.CPUPool{}}
+	for _, v := range h.AllVCPUs() {
+		plan.Assign[v] = pool
+	}
+	if err := h.ApplyPlan(plan, h.Engine.Now()); err != nil {
+		panic("baselines: " + err.Error())
+	}
+	stats, deadline := e.Stats, e.Deadline
+	h.OnDispatch = func(_ *xen.VCPU, wait, _ sim.Time) {
+		stats.Dispatches++
+		if wait > deadline {
+			stats.Misses++
+		}
+	}
+}
+
+// ReportRunMetrics implements scenario.RunMetricsReporter. It
+// accumulates with any counts already in the set: a fleet run invokes
+// it once per host against the fleet's shared metric set.
+func (e EDF) ReportRunMetrics(set *metrics.Set) {
+	misses := float64(e.Stats.Misses)
+	disp := float64(e.Stats.Dispatches)
+	if prev, ok := set.Get(scenario.MDeadlineMisses.Name); ok {
+		misses += prev
+	}
+	if prev, ok := set.Get(scenario.MDeadlineDispatches.Name); ok {
+		disp += prev
+	}
+	set.Put(scenario.MDeadlineMisses, misses)
+	set.Put(scenario.MDeadlineDispatches, disp)
+	if disp > 0 {
+		set.Put(scenario.MDeadlineMissRatio, misses/disp)
+	}
+}

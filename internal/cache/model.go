@@ -146,6 +146,7 @@ type Model struct {
 	capBytes float64 // max residency a single footprint may hold
 	missCost float64 // extra wall µs per LLC miss (vs. an LLC hit)
 	l2Fill   float64 // wall µs per byte of private-cache refill
+	l2Size   []int64 // per-core private L2 capacity (class overrides)
 }
 
 // NewModel builds a cache model for the given machine.
@@ -155,6 +156,13 @@ func NewModel(topo *hw.Topology) *Model {
 	}
 	memLatUs := float64(topo.MemLatencyNS) / 1000.0
 	llcLatUs := float64(topo.LLC.LatencyNS) / 1000.0
+	// Per-core L2 capacity: heterogeneous core classes may shrink a
+	// class's private cache. On homogeneous machines every entry equals
+	// topo.L2.Size, so the burst arithmetic is unchanged bit for bit.
+	l2Size := make([]int64, topo.TotalPCPUs())
+	for p := range l2Size {
+		l2Size[p] = topo.L2Of(hw.PCPUID(p)).Size
+	}
 	return &Model{
 		topo:     topo,
 		sockets:  make([]socketLLC, topo.Sockets),
@@ -163,6 +171,7 @@ func NewModel(topo *hw.Topology) *Model {
 		capBytes: 0.95 * float64(topo.LLC.Size),
 		missCost: memLatUs - llcLatUs,
 		l2Fill:   1e6 / float64(topo.MemBandwidth),
+		l2Size:   l2Size,
 	}
 }
 
@@ -229,7 +238,7 @@ func (m *Model) Run(fp *Footprint, core hw.PCPUID, prof Profile, work, budget si
 	// core since we last did. Bounded by the L2 size.
 	if m.cores[core].last != fp {
 		m.cores[core].last = fp
-		fill := float64(min64(prof.WSS, m.topo.L2.Size)) * m.l2Fill
+		fill := float64(min64(prof.WSS, m.l2Size[core])) * m.l2Fill
 		if fill >= wallLeft {
 			// The whole budget went to private refill; almost no work.
 			res.Wall = budget
@@ -243,7 +252,7 @@ func (m *Model) Run(fp *Footprint, core hw.PCPUID, prof Profile, work, budget si
 	var idealDone, misses, refsF float64
 
 	switch {
-	case prof.WSS <= m.topo.L2.Size || prof.RefRate <= 0:
+	case prof.WSS <= m.l2Size[core] || prof.RefRate <= 0:
 		// L2-resident: runs at ideal speed, negligible LLC traffic.
 		idealDone = math.Min(w, wallLeft)
 		refsF = prof.RefRate * idealDone

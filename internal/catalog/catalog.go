@@ -127,76 +127,13 @@ func WorkloadByName(name string) (workload.AppSpec, error) {
 	return f(), nil
 }
 
-// --- Policies: exact names plus a prefix grammar ---------------------------
+// --- Policies ---------------------------------------------------------------
 //
-// Policies are parameterized ("fixed:10ms", "aql-nocustom:1ms"), so the
-// policy catalog is an exact-name registry plus prefix parsers.
-
-var (
-	policies = NewRegistry[Policy]("policy")
-
-	prefixMu sync.RWMutex
-	prefixes []policyPrefix
-)
-
-type policyPrefix struct {
-	prefix string
-	hint   string // e.g. "<duration>", shown by the -list grammar
-	parse  func(arg string) (Policy, error)
-}
-
-// RegisterPolicy registers a policy under a lookup alias. The Policy's
-// Name is the canonical display name and may differ from the alias
-// ("xen" resolves to the policy named "xen-credit").
-func RegisterPolicy(alias string, p Policy) { policies.Register(alias, p) }
-
-// RegisterPolicyPrefix registers a parameterized policy family: names
-// of the form "<prefix><arg>" resolve through parse. hint documents the
-// argument shape in the grammar listing.
-func RegisterPolicyPrefix(prefix, hint string, parse func(arg string) (Policy, error)) {
-	if prefix == "" || parse == nil {
-		panic("catalog: RegisterPolicyPrefix needs a prefix and a parser")
-	}
-	prefixMu.Lock()
-	defer prefixMu.Unlock()
-	for _, p := range prefixes {
-		if p.prefix == prefix {
-			panic(fmt.Sprintf("catalog: policy prefix %q registered twice", prefix))
-		}
-	}
-	prefixes = append(prefixes, policyPrefix{prefix: prefix, hint: hint, parse: parse})
-}
-
-// PolicyByName resolves a policy axis point: an exact alias or a
-// registered "<prefix><arg>" form.
-func PolicyByName(name string) (Policy, error) {
-	if p, err := policies.Lookup(name); err == nil {
-		return p, nil
-	}
-	prefixMu.RLock()
-	defer prefixMu.RUnlock()
-	for _, pp := range prefixes {
-		if arg, ok := strings.CutPrefix(name, pp.prefix); ok {
-			return pp.parse(arg)
-		}
-	}
-	return Policy{}, fmt.Errorf("catalog: unknown policy %q (want one of %s)", name, strings.Join(PolicyGrammar(), ", "))
-}
-
-// PolicyNames lists the exact policy aliases, sorted.
-func PolicyNames() []string { return policies.Names() }
-
-// PolicyGrammar lists every valid policy spelling: the exact aliases
-// plus the parameterized forms ("fixed:<duration>").
-func PolicyGrammar() []string {
-	out := policies.Names()
-	prefixMu.RLock()
-	defer prefixMu.RUnlock()
-	for _, pp := range prefixes {
-		out = append(out, pp.prefix+pp.hint)
-	}
-	return out
-}
+// Policies are parameterized ("fixed:10ms", "aql-w:8"), so the policy
+// axis is a plugin registry (plugin.go): a descriptor declaring
+// aliases and typed knobs plus a build function, from which the string
+// grammar, the spec-file {"policy": ...} block, and the -list
+// documentation all derive.
 
 // --- Extra axes ------------------------------------------------------------
 //

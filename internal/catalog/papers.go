@@ -2,7 +2,6 @@ package catalog
 
 import (
 	"fmt"
-	"strconv"
 	"time"
 
 	"aqlsched/internal/baselines"
@@ -41,40 +40,109 @@ func init() {
 		Workloads.Register(s.Name, func() workload.AppSpec { return s })
 	}
 
-	// Policies: exact aliases (both the spec-file spelling and the
-	// canonical display name resolve) ...
-	register := func(p Policy, aliases ...string) {
-		for _, a := range aliases {
-			RegisterPolicy(a, p)
-		}
-	}
-	register(XenPolicy(), "xen", "xen-credit")
-	register(AQLPolicy(), "aql")
-	register(VTurboPolicy(), "vturbo")
-	register(VSlicerPolicy(), "vslicer")
-	register(MicroslicedPolicy(), "microsliced")
+	// Policies: every spelling of the evaluation registers as a plugin —
+	// the descriptor declares the aliases and typed knobs, and the
+	// grammar/spec-file/-list surfaces all derive from it.
+	RegisterPolicyPlugin(PolicyDesc{
+		Name:    "xen",
+		Aliases: []string{"xen-credit"},
+		Help:    "unmodified Xen credit scheduler (30 ms quantum, BOOST)",
+	}, func(Params) (Policy, error) { return XenPolicy(), nil })
 
-	// ... plus the parameterized families.
-	RegisterPolicyPrefix("fixed:", "<duration>", func(arg string) (Policy, error) {
-		q, err := ParseQuantum(arg)
-		if err != nil {
-			return Policy{}, err
+	RegisterPolicyPlugin(PolicyDesc{
+		Name:       "aql",
+		Help:       "the paper's AQL_Sched: vTRS recognition + two-level clustering + per-pool quanta",
+		Positional: "window",
+		Params: []scenario.ParamDesc{{
+			Name: "window", Kind: scenario.ParamInt, Hint: "<periods>",
+			Help: "vTRS sliding-window length n (paper default 4)",
+			Min:  "1", Max: "64",
+		}},
+	}, func(p Params) (Policy, error) {
+		if n, ok := p.Int("window"); ok {
+			return AQLWindowPolicy(n), nil
 		}
-		return FixedPolicy(q), nil
+		return AQLPolicy(), nil
 	})
-	RegisterPolicyPrefix("aql-nocustom:", "<duration>", func(arg string) (Policy, error) {
-		q, err := ParseQuantum(arg)
-		if err != nil {
-			return Policy{}, err
-		}
+
+	RegisterPolicyPlugin(PolicyDesc{
+		Name:       "aql-w",
+		Help:       "AQL at a non-default vTRS window (the reactivity-vs-churn axis)",
+		Positional: "n",
+		Params: []scenario.ParamDesc{{
+			Name: "n", Kind: scenario.ParamInt, Hint: "<periods>",
+			Help: "vTRS sliding-window length", Min: "1", Max: "64", Required: true,
+		}},
+	}, func(p Params) (Policy, error) {
+		n, _ := p.Int("n")
+		return AQLWindowPolicy(n), nil
+	})
+
+	RegisterPolicyPlugin(PolicyDesc{
+		Name:       "aql-nocustom",
+		Help:       "Fig. 7 ablation: clustering active, every pool at one fixed quantum",
+		Positional: "q",
+		Params: []scenario.ParamDesc{{
+			Name: "q", Kind: scenario.ParamDuration,
+			Help: "the fixed per-pool quantum", Required: true,
+		}},
+	}, func(p Params) (Policy, error) {
+		q, _ := p.Duration("q")
 		return AQLNoCustomPolicy(q), nil
 	})
-	RegisterPolicyPrefix("aql-w:", "<periods>", func(arg string) (Policy, error) {
-		n, err := strconv.Atoi(arg)
-		if err != nil || n < 1 || n > 64 {
-			return Policy{}, fmt.Errorf("catalog: bad vTRS window %q: want an integer in [1, 64]", arg)
-		}
-		return AQLWindowPolicy(n), nil
+
+	RegisterPolicyPlugin(PolicyDesc{
+		Name:       "fixed",
+		Help:       "every vCPU in one pool at a fixed quantum",
+		Positional: "q",
+		Params: []scenario.ParamDesc{{
+			Name: "q", Kind: scenario.ParamDuration,
+			Help: "the quantum", Required: true,
+		}},
+	}, func(p Params) (Policy, error) {
+		q, _ := p.Duration("q")
+		return FixedPolicy(q), nil
+	})
+
+	RegisterPolicyPlugin(PolicyDesc{
+		Name: "vturbo",
+		Help: "dedicated turbo cores at a small quantum for IO vCPUs (related system, Fig. 8)",
+	}, func(Params) (Policy, error) { return VTurboPolicy(), nil })
+
+	RegisterPolicyPlugin(PolicyDesc{
+		Name: "vslicer",
+		Help: "shorter slices for IO vCPUs on shared pools (related system, Fig. 8)",
+	}, func(Params) (Policy, error) { return VSlicerPolicy(), nil })
+
+	RegisterPolicyPlugin(PolicyDesc{
+		Name: "microsliced",
+		Help: "1 ms quantum for every vCPU (related system, Fig. 8)",
+	}, func(Params) (Policy, error) { return MicroslicedPolicy(), nil })
+
+	RegisterPolicyPlugin(PolicyDesc{
+		Name:       "hetero-aql",
+		Help:       "class-aware AQL: latency vCPUs pool onto the fastest core class; plain AQL on homogeneous machines",
+		Positional: "fast_q",
+		Params: []scenario.ParamDesc{{
+			Name: "fast_q", Kind: scenario.ParamDuration,
+			Help: "quantum of the fast-class pool", Default: "1ms",
+		}},
+	}, func(p Params) (Policy, error) {
+		q, _ := p.Duration("fast_q")
+		return HeteroAQLPolicy(q), nil
+	})
+
+	RegisterPolicyPlugin(PolicyDesc{
+		Name:       "edf",
+		Help:       "deadline-aware quantum policy; reports deadline_miss_ratio over per-dispatch scheduling delays",
+		Positional: "deadline",
+		Params: []scenario.ParamDesc{{
+			Name: "deadline", Kind: scenario.ParamDuration,
+			Help: "per-dispatch scheduling-delay bound", Required: true,
+		}},
+	}, func(p Params) (Policy, error) {
+		d, _ := p.Duration("deadline")
+		return EDFPolicy(d), nil
 	})
 }
 
@@ -140,6 +208,27 @@ func MicroslicedPolicy() Policy {
 	m := baselines.Microsliced()
 	return Policy{Name: m.Name(), New: func() scenario.Policy {
 		return baselines.Microsliced()
+	}}
+}
+
+// HeteroAQLPolicy is the heterogeneous-topology consumer of the AQL
+// machinery: on machines with core classes it pools latency vCPUs onto
+// the fastest class at quantum fastQ; on homogeneous machines it is
+// plain AQL.
+func HeteroAQLPolicy(fastQ sim.Time) Policy {
+	name := baselines.HeteroAQL{FastQ: fastQ}.Name()
+	return Policy{Name: name, New: func() scenario.Policy {
+		return baselines.HeteroAQL{FastQ: fastQ, Out: new(*core.Controller)}
+	}}
+}
+
+// EDFPolicy runs every vCPU at a deadline-derived quantum and counts
+// per-dispatch scheduling delays against the deadline (the
+// deadline_miss_ratio metric).
+func EDFPolicy(deadline sim.Time) Policy {
+	name := baselines.EDF{Deadline: deadline}.Name()
+	return Policy{Name: name, New: func() scenario.Policy {
+		return baselines.EDF{Deadline: deadline, Stats: new(baselines.EDFStats)}
 	}}
 }
 

@@ -225,6 +225,10 @@ type Fleet struct {
 	// execution machinery only: results are byte-identical with or
 	// without it.
 	pool *advancePool
+	// advances counts per-host advance calls actually issued by the
+	// epoch barriers — hosts already at the barrier time are skipped, so
+	// this is an efficiency probe for advanceAll, not a result metric.
+	advances int
 
 	// Fault state: faults is the plan with defaults applied (nil when
 	// the spec injects none); faultRNG drives the per-run migration
@@ -793,6 +797,15 @@ func (f *Fleet) collect(polName string) *Result {
 			res.Metrics.Put(MReplacementWait, float64(f.replWaitSum)/float64(f.vmsReplaced))
 		}
 		res.Metrics.Put(MDowntimeVMSeconds, f.downtimeVMSec)
+	}
+	// Policy-reported run metrics (EDF's deadline accounting) merge one
+	// host at a time, in host order — the reporters accumulate, so the
+	// fleet-wide counts are deterministic sums. Policies that report
+	// nothing keep the artifact bytes unchanged.
+	for _, h := range f.Hosts {
+		if r, ok := h.Pol.(scenario.RunMetricsReporter); ok {
+			r.ReportRunMetrics(&res.Metrics)
+		}
 	}
 	return res
 }

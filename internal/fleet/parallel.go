@@ -150,17 +150,37 @@ func (p *advancePool) run(i int, fn func(i int)) {
 // advanceAll advances every host's private engine to t: the epoch
 // barrier when a pool is armed, a plain loop otherwise (the measure-
 // start barrier and the end-of-run drain share this path in both
-// modes). Hosts never share mutable state during advance — see the
-// package comment above for why eager advancement is neutral.
+// modes). Hosts already at (or past) t are skipped up front — an
+// epoch's events usually touch a few hosts, so most engines are still
+// current at the next barrier and scheduling pool jobs for them would
+// be pure overhead. Hosts never share mutable state during advance —
+// see the package comment above for why eager advancement is neutral.
 func (f *Fleet) advanceAll(t sim.Time) {
 	if f.pool == nil {
 		for _, h := range f.Hosts {
+			if h.Hyp.Engine.Now() >= t {
+				continue
+			}
+			f.advances++
 			h.advance(t)
 		}
 		return
 	}
-	hosts := f.Hosts
-	f.pool.do(len(hosts), func(i int) { hosts[i].advance(t) })
+	stale := f.staleHosts(t)
+	f.advances += len(stale)
+	f.pool.do(len(stale), func(i int) { stale[i].advance(t) })
+}
+
+// staleHosts lists the hosts whose engines are strictly behind t, in
+// host order.
+func (f *Fleet) staleHosts(t sim.Time) []*Host {
+	stale := make([]*Host, 0, len(f.Hosts))
+	for _, h := range f.Hosts {
+		if h.Hyp.Engine.Now() < t {
+			stale = append(stale, h)
+		}
+	}
+	return stale
 }
 
 // run drives the central timeline to the end of the measurement window

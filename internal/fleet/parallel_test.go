@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"aqlsched/internal/credit"
+	"aqlsched/internal/hw"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
 	"aqlsched/internal/workload"
@@ -191,6 +193,53 @@ func TestPanicInHostAdvancePropagates(t *testing.T) {
 		if msg := fmt.Sprint(got); !strings.Contains(msg, "injected advance panic") {
 			t.Errorf("workers=%d: propagated panic lost the cause: %v", w, msg)
 		}
+	}
+}
+
+// TestAdvanceAllSkipsCurrentHosts: the epoch barrier must only issue
+// advance calls for hosts whose engines are strictly behind the barrier
+// time — most epochs touch a few hosts, and re-advancing the rest is
+// wasted work (and, on the pool path, wasted job scheduling). Counted
+// via the Fleet.advances probe in both the serial and pooled branches.
+func TestAdvanceAllSkipsCurrentHosts(t *testing.T) {
+	newHost := func(id int) *Host {
+		topo := *hw.I73770()
+		return &Host{ID: id, Hyp: xen.New(&topo, credit.New(), uint64(id)+1)}
+	}
+	for _, workers := range []int{1, 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			f := &Fleet{Hosts: []*Host{newHost(0), newHost(1), newHost(2), newHost(3)}}
+			if workers > 1 {
+				f.pool = newAdvancePool(workers)
+				defer f.pool.close()
+			}
+
+			f.advanceAll(10 * sim.Millisecond)
+			if f.advances != 4 {
+				t.Fatalf("first barrier issued %d advances, want 4 (all hosts stale)", f.advances)
+			}
+
+			// Two hosts run ahead (as if the epoch's events touched them);
+			// the next barrier must only advance the other two.
+			f.Hosts[1].advance(20 * sim.Millisecond)
+			f.Hosts[3].advance(20 * sim.Millisecond)
+			f.advanceAll(20 * sim.Millisecond)
+			if f.advances != 6 {
+				t.Errorf("second barrier brought total advances to %d, want 6 (current hosts skipped)", f.advances)
+			}
+
+			// A barrier at a time every host has reached is a no-op.
+			f.advanceAll(20 * sim.Millisecond)
+			if f.advances != 6 {
+				t.Errorf("no-op barrier issued advances, total %d, want 6", f.advances)
+			}
+
+			for _, h := range f.Hosts {
+				if now := h.Hyp.Engine.Now(); now != 20*sim.Millisecond {
+					t.Errorf("host %d engine at %v after barriers, want 20ms", h.ID, now)
+				}
+			}
+		})
 	}
 }
 

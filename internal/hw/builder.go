@@ -41,6 +41,25 @@ type TopologyBuilder struct {
 	MemGBps float64 `json:"mem_gbps,omitempty"`
 	// CtxSwitchUS is the direct context-switch cost in microseconds.
 	CtxSwitchUS float64 `json:"ctx_switch_us,omitempty"`
+
+	// Classes partitions each socket's cores into heterogeneous core
+	// classes (big.LITTLE-style). Counts must sum to cores_per_socket;
+	// empty means one homogeneous class at speed 1.
+	Classes []CoreClassBuilder `json:"classes,omitempty"`
+}
+
+// CoreClassBuilder is the JSON-friendly form of one CoreClass.
+type CoreClassBuilder struct {
+	// Name labels the class in listings ("big", "little").
+	Name string `json:"name,omitempty"`
+	// Count is the number of cores per socket in this class.
+	Count int `json:"count"`
+	// Speed is the class's relative execution speed (default 1).
+	Speed float64 `json:"speed,omitempty"`
+	// L1KB and L2KB override the class's private cache capacities;
+	// 0 keeps the topology-wide sizes.
+	L1KB int64 `json:"l1_kb,omitempty"`
+	L2KB int64 `json:"l2_kb,omitempty"`
 }
 
 // withDefaults returns a copy with every zero knob replaced by the
@@ -115,6 +134,34 @@ func (b TopologyBuilder) Validate() error {
 	if !(l1 < l2 && l2 < llc) {
 		return fmt.Errorf("hw: builder cache hierarchy must grow: L1 %d B < L2 %d B < LLC %d B", l1, l2, llc)
 	}
+	if len(d.Classes) > 0 {
+		total := 0
+		for i, c := range d.Classes {
+			if c.Count <= 0 {
+				return fmt.Errorf("hw: builder core class %d needs a positive count, got %d", i, c.Count)
+			}
+			if c.Speed < 0 {
+				return fmt.Errorf("hw: builder core class %d speed must not be negative, got %v", i, c.Speed)
+			}
+			if c.L1KB < 0 || c.L2KB < 0 {
+				return fmt.Errorf("hw: builder core class %d cache overrides must be positive", i)
+			}
+			cl1, cl2 := c.L1KB*KB, c.L2KB*KB
+			if cl1 == 0 {
+				cl1 = l1
+			}
+			if cl2 == 0 {
+				cl2 = l2
+			}
+			if !(cl1 < cl2 && cl2 < llc) {
+				return fmt.Errorf("hw: builder core class %d cache hierarchy must grow: L1 %d B < L2 %d B < LLC %d B", i, cl1, cl2, llc)
+			}
+			total += c.Count
+		}
+		if total != d.CoresPerSocket {
+			return fmt.Errorf("hw: builder core classes cover %d cores per socket, machine has %d", total, d.CoresPerSocket)
+		}
+	}
 	return nil
 }
 
@@ -133,6 +180,20 @@ func (b TopologyBuilder) Build() (*Topology, error) {
 		MemLatencyNS:   d.MemNS,
 		MemBandwidth:   int64(d.MemGBps * float64(GB)),
 		CtxSwitchCost:  sim.Time(d.CtxSwitchUS * float64(sim.Microsecond)),
+	}
+	for _, c := range d.Classes {
+		cc := CoreClass{Name: c.Name, Count: c.Count, Speed: c.Speed}
+		if c.L1KB != 0 {
+			l1 := t.L1
+			l1.Size = c.L1KB * KB
+			cc.L1 = &l1
+		}
+		if c.L2KB != 0 {
+			l2 := t.L2
+			l2.Size = c.L2KB * KB
+			cc.L2 = &l2
+		}
+		t.Classes = append(t.Classes, cc)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

@@ -144,3 +144,93 @@ func TestCountersAdd(t *testing.T) {
 		t.Errorf("Add result %+v", b)
 	}
 }
+
+// bigLittle is a two-socket classed machine: per socket, cores 0-2 are
+// "big" at baseline speed, cores 3-7 "little" at 0.6 with a smaller L2.
+func bigLittle() *Topology {
+	top := *I73770()
+	top.Sockets = 2
+	top.Classes = []CoreClass{
+		{Name: "big", Count: 3, Speed: 1},
+		{Name: "little", Count: 5, Speed: 0.6, L2: &CacheSpec{Size: 128 * KB, Ways: 8, LineSize: 64}},
+	}
+	return &top
+}
+
+func TestCoreClassMapping(t *testing.T) {
+	top := bigLittle()
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !top.Heterogeneous() {
+		t.Fatal("classed topology not heterogeneous")
+	}
+	if got := top.FastestClass(); got != 0 {
+		t.Errorf("FastestClass = %d, want 0", got)
+	}
+	// The class layout repeats per socket: socket-major pCPU IDs are
+	// preserved, so socket 1's cores 8-10 are big again.
+	cases := []struct {
+		p     PCPUID
+		class int
+		speed float64
+	}{
+		{0, 0, 1}, {2, 0, 1}, {3, 1, 0.6}, {7, 1, 0.6},
+		{8, 0, 1}, {10, 0, 1}, {11, 1, 0.6}, {15, 1, 0.6},
+	}
+	for _, c := range cases {
+		if got := top.ClassOf(c.p); got != c.class {
+			t.Errorf("ClassOf(%d) = %d, want %d", c.p, got, c.class)
+		}
+		if got := top.SpeedOf(c.p); got != c.speed {
+			t.Errorf("SpeedOf(%d) = %v, want %v", c.p, got, c.speed)
+		}
+	}
+	// Cache overrides apply to the little class only.
+	if got := top.L2Of(0).Size; got != 256*KB {
+		t.Errorf("big L2 = %d, want the machine default 256 KB", got)
+	}
+	if got := top.L2Of(3).Size; got != 128*KB {
+		t.Errorf("little L2 = %d, want the 128 KB override", got)
+	}
+	if got := top.L1Of(3).Size; got != 32*KB {
+		t.Errorf("little L1 = %d, want the machine default 32 KB", got)
+	}
+}
+
+func TestHomogeneousTopologyHasNoClasses(t *testing.T) {
+	top := I73770()
+	if top.Heterogeneous() {
+		t.Error("i7-3770 reports heterogeneous")
+	}
+	if got := top.ClassOf(0); got != -1 {
+		t.Errorf("ClassOf = %d, want -1", got)
+	}
+	if got := top.SpeedOf(5); got != 1 {
+		t.Errorf("SpeedOf = %v, want 1", got)
+	}
+	if got := top.FastestClass(); got != -1 {
+		t.Errorf("FastestClass = %d, want -1", got)
+	}
+	// Uniform classes at speed 1 with no overrides stay homogeneous.
+	top.Classes = []CoreClass{{Count: 8}}
+	if top.Heterogeneous() {
+		t.Error("single speed-1 class reports heterogeneous")
+	}
+}
+
+func TestValidateRejectsBadClasses(t *testing.T) {
+	cases := []func(*Topology){
+		func(t *Topology) { t.Classes[0].Count = 0 },
+		func(t *Topology) { t.Classes[1].Speed = -0.5 },
+		func(t *Topology) { t.Classes[1].Count = 6 }, // sum != cores_per_socket
+		func(t *Topology) { t.Classes[1].L2 = &CacheSpec{Size: 0} },
+	}
+	for i, mutate := range cases {
+		top := bigLittle()
+		mutate(top)
+		if err := top.Validate(); err == nil {
+			t.Errorf("case %d: bad class set validated", i)
+		}
+	}
+}

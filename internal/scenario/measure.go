@@ -104,6 +104,25 @@ var (
 		Agg: metrics.AggCount, Scope: metrics.PerRun,
 		Help: "vCPU pool moves in the measurement window",
 	})
+
+	// Deadline accounting, emitted only by deadline-aware policies
+	// (edf:*): runs under other policies carry no deadline metrics, so
+	// existing artifacts are unchanged.
+	MDeadlineMisses = metrics.Register(metrics.Desc{
+		Name: "deadline_misses", Unit: "count", Direction: metrics.DirNone,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "dispatches whose scheduling delay exceeded the policy deadline",
+	})
+	MDeadlineDispatches = metrics.Register(metrics.Desc{
+		Name: "deadline_dispatches", Unit: "count", Direction: metrics.DirNone,
+		Agg: metrics.AggCount, Scope: metrics.PerRun,
+		Help: "dispatches observed by the deadline accounting",
+	})
+	MDeadlineMissRatio = metrics.Register(metrics.Desc{
+		Name: "deadline_miss_ratio", Unit: "frac", Direction: metrics.LowerIsBetter,
+		Agg: metrics.AggFraction, Scope: metrics.PerRun,
+		Help: "deadline_misses / deadline_dispatches",
+	})
 )
 
 // appProbe accumulates one application's raw measurements over its VM

@@ -17,10 +17,21 @@ import (
 )
 
 // Policy configures the scheduler under test after deployment. The
-// baselines package provides implementations.
+// baselines package provides implementations. A policy's typed knobs
+// are declared as ParamDesc values (params.go) at plugin-registration
+// time; see internal/catalog.RegisterPolicyPlugin.
 type Policy interface {
 	Name() string
 	Setup(h *xen.Hypervisor, deps []*workload.Deployment)
+}
+
+// RunMetricsReporter is implemented by policies that produce their own
+// run-scoped measurements (EDF's deadline accounting). Run invokes it
+// once after the simulation; fleet runs invoke it once per host, in
+// host order, against one shared set — implementations must therefore
+// accumulate with any values already present rather than overwrite.
+type RunMetricsReporter interface {
+	ReportRunMetrics(set *metrics.Set)
 }
 
 // Entry is one application and how many VMs of it to deploy.
@@ -236,6 +247,9 @@ func Run(spec Spec, pol Policy) *Result {
 	res.Metrics.Put(MCtxSwitches, float64(h.CtxSwitches))
 	res.Metrics.Put(MPreemptions, float64(h.Preemptions))
 	res.Metrics.Put(MPoolMigrations, float64(h.PoolMigrations))
+	if r, ok := pol.(RunMetricsReporter); ok {
+		r.ReportRunMetrics(&res.Metrics)
+	}
 	if tracker != nil {
 		res.Adapt = tracker.finalize()
 		res.Adapt.record(&res.Metrics)

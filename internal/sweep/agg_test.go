@@ -40,7 +40,7 @@ func TestAggregateSkipsFailedBaselineReplication(t *testing.T) {
 	spec, err := (&File{
 		Name:      "flaky",
 		Scenarios: refs("S2"),
-		Policies:  []string{"microsliced"},
+		Policies:  pols("microsliced"),
 		Seeds:     2,
 		WarmupMS:  300,
 		MeasureMS: 500,
@@ -102,7 +102,7 @@ func TestAllReplicationsFailedCell(t *testing.T) {
 	spec, err := (&File{
 		Name:      "doomed",
 		Scenarios: refs("S2"),
-		Policies:  []string{"xen"},
+		Policies:  pols("xen"),
 		Seeds:     2,
 		WarmupMS:  300,
 		MeasureMS: 500,

@@ -18,7 +18,7 @@ func emitSpec(t *testing.T) *Spec {
 	s, err := (&File{
 		Name:      "emit",
 		Scenarios: refs("S5"),
-		Policies:  []string{"xen", "microsliced"},
+		Policies:  pols("xen", "microsliced"),
 		Baseline:  "xen-credit",
 		Seeds:     2,
 		WarmupMS:  300,

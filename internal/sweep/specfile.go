@@ -83,7 +83,7 @@ type File struct {
 	// names are visible to this file's scenario entries only.
 	Topologies map[string]hw.TopologyBuilder `json:"topologies,omitempty"`
 	Scenarios  []ScenarioRef                 `json:"scenarios"`
-	Policies   []string                      `json:"policies"`
+	Policies   []PolicyRef                   `json:"policies"`
 	// Quanta, when set, appends one fixed:<q> policy per entry (a
 	// shorthand for quantum-length axes, e.g. ["1ms","10ms","90ms"]).
 	Quanta   []string `json:"quanta,omitempty"`
@@ -139,6 +139,70 @@ func (r *ScenarioRef) UnmarshalJSON(data []byte) error {
 	dec.DisallowUnknownFields()
 	type plain ScenarioRef // drop methods to avoid recursion
 	return dec.Decode((*plain)(r))
+}
+
+// PolicyRef is one policy-axis entry of a spec file. In JSON it is
+// either a grammar string ("aql", "fixed:5ms", "edf:deadline=10ms") or
+// a structured block resolved through the plugin registry's typed
+// parameter validation:
+//
+//	{"policy": {"name": "edf", "params": {"deadline": "10ms"}}}
+type PolicyRef struct {
+	// Name is the grammar spelling (string form).
+	Name string
+	// Block is the structured form, when given instead of Name.
+	Block *PolicyBlock
+}
+
+// PolicyBlock is the structured policy spelling: a plugin name plus
+// its typed parameters (numbers for int/float knobs, duration strings
+// like "10ms" for duration knobs).
+type PolicyBlock struct {
+	Name   string         `json:"name"`
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// Pol wraps a grammar spelling for Go-constructed Files.
+func Pol(name string) PolicyRef { return PolicyRef{Name: name} }
+
+func pols(names ...string) []PolicyRef {
+	out := make([]PolicyRef, len(names))
+	for i, n := range names {
+		out[i] = Pol(n)
+	}
+	return out
+}
+
+// UnmarshalJSON accepts both the grammar-string and the {"policy": ...}
+// object form. The object form rejects unknown keys (custom
+// unmarshalers do not inherit the outer decoder's
+// DisallowUnknownFields).
+func (r *PolicyRef) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		return json.Unmarshal(data, &r.Name)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var obj struct {
+		Policy *PolicyBlock `json:"policy"`
+	}
+	if err := dec.Decode(&obj); err != nil {
+		return err
+	}
+	if obj.Policy == nil || obj.Policy.Name == "" {
+		return fmt.Errorf(`sweep: policy entry object needs a {"policy": {"name": ...}} block`)
+	}
+	r.Block = obj.Policy
+	return nil
+}
+
+// resolve turns the reference into a policy axis point.
+func (r PolicyRef) resolve() (Policy, error) {
+	if r.Block != nil {
+		p, err := catalog.PolicyFromConfig(r.Block.Name, r.Block.Params)
+		return Policy(p), err
+	}
+	return PolicyByName(r.Name)
 }
 
 // GenBlock parameterizes a generated colocation scenario (see
@@ -665,8 +729,8 @@ func (f *File) Spec() (*Spec, error) {
 		}
 		s.Scenarios = append(s.Scenarios, sc)
 	}
-	for _, name := range f.Policies {
-		p, err := PolicyByName(name)
+	for _, ref := range f.Policies {
+		p, err := ref.resolve()
 		if err != nil {
 			return nil, err
 		}
@@ -702,7 +766,7 @@ var builtins = map[string]func() *Spec{
 		return mustFile(File{
 			Name:      "policy-grid",
 			Scenarios: refs("S1", "S2", "S3", "S4", "S5"),
-			Policies:  []string{"xen", "aql"},
+			Policies:  pols("xen", "aql"),
 			Baseline:  "xen-credit",
 			Seeds:     3,
 		})
@@ -711,7 +775,7 @@ var builtins = map[string]func() *Spec{
 		return mustFile(File{
 			Name:      "fig8",
 			Scenarios: refs("S5"),
-			Policies:  []string{"xen", "vturbo", "microsliced", "vslicer", "aql"},
+			Policies:  pols("xen", "vturbo", "microsliced", "vslicer", "aql"),
 			Baseline:  "xen-credit",
 		})
 	},
@@ -719,7 +783,7 @@ var builtins = map[string]func() *Spec{
 		return mustFile(File{
 			Name:      "quantum-grid",
 			Scenarios: refs("S1", "S2", "S3", "S4", "S5"),
-			Policies:  []string{"fixed:30ms"},
+			Policies:  pols("fixed:30ms"),
 			Quanta:    []string{"1ms", "10ms", "60ms", "90ms"},
 			Baseline:  "fixed:30ms",
 			Seeds:     3,
@@ -729,7 +793,7 @@ var builtins = map[string]func() *Spec{
 		return mustFile(File{
 			Name:      "four-socket",
 			Scenarios: refs("four-socket"),
-			Policies:  []string{"xen", "aql"},
+			Policies:  pols("xen", "aql"),
 			Baseline:  "xen-credit",
 		})
 	},
@@ -737,7 +801,7 @@ var builtins = map[string]func() *Spec{
 		return mustFile(File{
 			Name:      "baseline-grid",
 			Scenarios: refs("S1", "S2", "S3", "S4", "S5"),
-			Policies:  []string{"xen", "vturbo", "microsliced", "vslicer", "aql"},
+			Policies:  pols("xen", "vturbo", "microsliced", "vslicer", "aql"),
 			Baseline:  "xen-credit",
 			Seeds:     3,
 		})
@@ -751,7 +815,7 @@ var builtins = map[string]func() *Spec{
 		return mustFile(File{
 			Name:      "bench",
 			Scenarios: refs("S1", "S5"),
-			Policies:  []string{"xen", "microsliced", "aql"},
+			Policies:  pols("xen", "microsliced", "aql"),
 			Baseline:  "xen-credit",
 			Seeds:     2,
 			WarmupMS:  400,
@@ -779,7 +843,7 @@ var builtins = map[string]func() *Spec{
 				},
 				Apps: []string{"bzip2", "hmmer"},
 			}}},
-			Policies:  []string{"xen", "aql", "fixed:5ms"},
+			Policies:  pols("xen", "aql", "fixed:5ms"),
 			Baseline:  "xen-credit",
 			Seeds:     2,
 			WarmupMS:  400,
@@ -813,7 +877,7 @@ var builtins = map[string]func() *Spec{
 					HorizonMS:  1100,
 				},
 			}}},
-			Policies:  []string{"xen", "aql", "fixed:5ms"},
+			Policies:  pols("xen", "aql", "fixed:5ms"),
 			Baseline:  "xen-credit",
 			Seeds:     2,
 			WarmupMS:  400,
@@ -851,7 +915,7 @@ var builtins = map[string]func() *Spec{
 					MaxPerTick:  8,
 				},
 			}}},
-			Policies:  []string{"xen"},
+			Policies:  pols("xen"),
 			WarmupMS:  300,
 			MeasureMS: 700,
 		})
@@ -908,10 +972,42 @@ var builtins = map[string]func() *Spec{
 					},
 				},
 			}}},
-			Policies:  []string{"xen"},
+			Policies:  pols("xen"),
 			Seeds:     2,
 			WarmupMS:  300,
 			MeasureMS: 700,
+		})
+	},
+	// hetero demonstrates heterogeneous core classes end to end: a
+	// big.LITTLE machine (4 fast + 4 slow cores), the class-aware
+	// hetero-aql policy against plain AQL, and the deadline-aware edf
+	// policy spelled as a structured {"policy": ...} block. It must stay
+	// identical to the committed examples/specs/hetero.json (the CI
+	// smoke spec) — the sweep tests assert the equivalence.
+	"hetero": func() *Spec {
+		return mustFile(File{
+			Name: "hetero",
+			Topologies: map[string]hw.TopologyBuilder{
+				"big-little": {Sockets: 1, CoresPerSocket: 8, Classes: []hw.CoreClassBuilder{
+					{Name: "big", Count: 4, Speed: 1},
+					{Name: "little", Count: 4, Speed: 0.6, L2KB: 128},
+				}},
+			},
+			Scenarios: []ScenarioRef{{Gen: &GenBlock{
+				Name:     "hetero-mix",
+				Topology: "big-little",
+				VCPUs:    24,
+				OverSub:  3,
+				Mix: map[string]float64{
+					"IOInt": 0.3, "ConSpin": 0.2, "LLCF": 0.25, "LoLCF": 0.25,
+				},
+			}}},
+			Policies: append(pols("xen", "aql", "hetero-aql"),
+				PolicyRef{Block: &PolicyBlock{Name: "edf", Params: map[string]any{"deadline": "10ms"}}}),
+			Baseline:  "xen-credit",
+			Seeds:     2,
+			WarmupMS:  400,
+			MeasureMS: 900,
 		})
 	},
 }

@@ -427,3 +427,98 @@ func TestSpecFileExplicitPhaseProbZero(t *testing.T) {
 		t.Error("phase_prob 1.5 accepted")
 	}
 }
+
+// TestHeteroBuiltinMatchesExampleSpec: `aqlsweep -spec hetero` and the
+// CI smoke file examples/specs/hetero.json must define the same
+// experiment (the genmix contract, for the heterogeneous sweep).
+func TestHeteroBuiltinMatchesExampleSpec(t *testing.T) {
+	builtin, ok := Builtin("hetero")
+	if !ok {
+		t.Fatal("hetero builtin missing")
+	}
+	file, err := Load("../../examples/specs/hetero.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builtin.Name != file.Name || builtin.Baseline != file.Baseline ||
+		builtin.Seeds != file.Seeds || builtin.BaseSeed != file.BaseSeed ||
+		builtin.Warmup != file.Warmup || builtin.Measure != file.Measure {
+		t.Errorf("hetero builtin and example file disagree on sweep knobs:\nbuiltin %+v\nfile    %+v", builtin, file)
+	}
+	var bp, fp []string
+	for _, p := range builtin.Policies {
+		bp = append(bp, p.Name)
+	}
+	for _, p := range file.Policies {
+		fp = append(fp, p.Name)
+	}
+	if !reflect.DeepEqual(bp, fp) {
+		t.Errorf("policy axes differ: builtin %v, file %v", bp, fp)
+	}
+	if len(builtin.Scenarios) != 1 || len(file.Scenarios) != 1 {
+		t.Fatalf("axis sizes differ: %d vs %d", len(builtin.Scenarios), len(file.Scenarios))
+	}
+	if !reflect.DeepEqual(builtin.Scenarios[0].New(), file.Scenarios[0].New()) {
+		t.Error("hetero builtin and example file expand to different scenarios")
+	}
+	sc := builtin.Scenarios[0].New()
+	if !sc.Topo.Heterogeneous() {
+		t.Error("hetero sweep machine is homogeneous")
+	}
+}
+
+// TestSpecFilePolicyBlocks: the structured {"policy": {...}} spelling
+// expands to the same axis point as the string grammar.
+func TestSpecFilePolicyBlocks(t *testing.T) {
+	const blob = `{
+		"scenarios": ["S1"],
+		"policies": [
+			"xen",
+			{"policy": {"name": "fixed", "params": {"q": "5ms"}}},
+			{"policy": {"name": "aql", "params": {"window": 8}}},
+			{"policy": {"name": "aql"}},
+			{"policy": {"name": "edf", "params": {"deadline": "10ms"}}}
+		]
+	}`
+	s, err := Parse([]byte(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, p := range s.Policies {
+		names = append(names, p.Name)
+	}
+	want := []string{"xen-credit", "fixed-5.000ms", "aql-w8", "aql", "edf-10.000ms"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("policy axis %v, want %v", names, want)
+	}
+}
+
+// TestSpecFilePolicyBlockErrors: malformed policy entries fail with
+// errors naming the problem, not silently skewing the axis.
+func TestSpecFilePolicyBlockErrors(t *testing.T) {
+	cases := []struct {
+		name, json, wantErr string
+	}{
+		{"missing name", `{"scenarios":["S1"],"policies":[{"policy":{"params":{"q":"5ms"}}}]}`, "name"},
+		{"empty block", `{"scenarios":["S1"],"policies":[{}]}`, "policy"},
+		{"typo at entry level", `{"scenarios":["S1"],"policies":[{"polcy":{"name":"xen"}}]}`, "polcy"},
+		{"typo in block", `{"scenarios":["S1"],"policies":[{"policy":{"name":"xen","prams":{}}}]}`, "prams"},
+		{"unknown policy", `{"scenarios":["S1"],"policies":[{"policy":{"name":"frob"}}]}`, "frob"},
+		{"unknown param", `{"scenarios":["S1"],"policies":[{"policy":{"name":"aql","params":{"widnow":4}}}]}`, "widnow"},
+		{"out of range", `{"scenarios":["S1"],"policies":[{"policy":{"name":"aql","params":{"window":65}}}]}`, "65"},
+		{"numeric duration", `{"scenarios":["S1"],"policies":[{"policy":{"name":"fixed","params":{"q":5}}}]}`, "duration"},
+		{"missing required", `{"scenarios":["S1"],"policies":[{"policy":{"name":"edf"}}]}`, "deadline"},
+		{"args in block name", `{"scenarios":["S1"],"policies":[{"policy":{"name":"fixed:5ms"}}]}`, "params"},
+	}
+	for _, tc := range cases {
+		_, err := Parse([]byte(tc.json))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -19,7 +19,7 @@ func quickSpec(t *testing.T) *Spec {
 	s, err := (&File{
 		Name:      "quick",
 		Scenarios: refs("S2"),
-		Policies:  []string{"xen", "microsliced", "aql"},
+		Policies:  pols("xen", "microsliced", "aql"),
 		Baseline:  "xen-credit",
 		Seeds:     2,
 		WarmupMS:  400,

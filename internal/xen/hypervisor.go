@@ -2,6 +2,7 @@ package xen
 
 import (
 	"fmt"
+	"math"
 
 	"aqlsched/internal/cache"
 	"aqlsched/internal/guest"
@@ -58,6 +59,16 @@ type Hypervisor struct {
 	allVCPUs  []*VCPU // cached AllVCPUs slice, appended on CreateDomain
 	burstFree *burst  // free-list of recycled burst structs
 
+	// speed caches each pCPU's core-class speed factor. It stays nil on
+	// homogeneous machines, so the dispatch hot path does no float work
+	// there and existing results are bit-identical.
+	speed []float64
+
+	// OnDispatch, when set, observes every dispatch: v waited `wait`
+	// since becoming runnable before going on CPU at `now`. Policies
+	// install it (EDF's deadline-miss accounting); nil costs one branch.
+	OnDispatch func(v *VCPU, wait, now sim.Time)
+
 	nextDomID  int
 	nextGlobal int
 
@@ -110,8 +121,50 @@ func New(topo *hw.Topology, sched Scheduler, seed uint64, opts ...Option) *Hyper
 	for _, p := range h.guestPCPUs {
 		h.poolOf[p] = def
 	}
+	if topo.Heterogeneous() {
+		speed := make([]float64, topo.TotalPCPUs())
+		uniform := true
+		for p := range speed {
+			speed[p] = topo.SpeedOf(hw.PCPUID(p))
+			if speed[p] != 1 {
+				uniform = false
+			}
+		}
+		if !uniform {
+			h.speed = speed
+		}
+	}
 	sched.Attach(h)
 	return h
+}
+
+// speedOf reports pCPU p's execution speed factor (1 everywhere on
+// homogeneous machines).
+func (h *Hypervisor) speedOf(p hw.PCPUID) float64 {
+	if h.speed == nil {
+		return 1
+	}
+	return h.speed[p]
+}
+
+// refTime converts a wall interval on a core of speed s into the
+// reference time the cache model runs in (floor, clamped to 1 so a
+// positive wall interval always makes progress).
+func refTime(wall sim.Time, s float64) sim.Time {
+	r := sim.Time(float64(wall) * s)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// refElapsed is refTime keyed by pCPU, with the homogeneous fast path
+// returning wall untouched (no float arithmetic).
+func (h *Hypervisor) refElapsed(p hw.PCPUID, wall sim.Time) sim.Time {
+	if s := h.speedOf(p); s != 1 {
+		return refTime(wall, s)
+	}
+	return wall
 }
 
 // GuestPCPUs lists the pCPUs guests may use.
@@ -325,13 +378,17 @@ func (h *Hypervisor) dispatch(v *VCPU, p hw.PCPUID, now sim.Time) {
 	v.lastPCPU = p
 	v.dispatchedAt = now
 	v.everRan = true
-	v.Counters.StolenTime += uint64(now - v.runnableSince)
+	wait := now - v.runnableSince
+	v.Counters.StolenTime += uint64(wait)
 	slice := h.Sched.SliceFor(v, p)
 	if slice <= 0 {
 		panic(fmt.Sprintf("xen: zero slice for %v", v))
 	}
 	v.sliceEnd = now + slice
 	h.running[p] = v
+	if h.OnDispatch != nil {
+		h.OnDispatch(v, wait, now)
+	}
 	h.runBurstWithOverhead(v, now, h.Topo.CtxSwitchCost)
 }
 
@@ -363,10 +420,24 @@ func (h *Hypervisor) runBurstWithOverhead(v *VCPU, now sim.Time, overhead sim.Ti
 		b.overhead = overhead
 		b.fpBefore = step.Thread.FP
 		b.coreWas = h.Cache.CoreOccupant(v.pcpu)
-		b.planned = h.Cache.Run(&step.Thread.FP, v.pcpu, step.Prof, step.Work, budget)
+		var wall sim.Time
+		if s := h.speedOf(v.pcpu); s != 1 {
+			// Heterogeneous core: the cache model runs in reference
+			// time (the budget shrinks by the speed factor), and the
+			// planned wall stretches back for the timer, so slow cores
+			// accrue proportionally less work per wall second.
+			b.planned = h.Cache.Run(&step.Thread.FP, v.pcpu, step.Prof, step.Work, refTime(budget, s))
+			wall = sim.Time(math.Ceil(float64(b.planned.Wall) / s))
+			if wall > budget {
+				wall = budget
+			}
+		} else {
+			b.planned = h.Cache.Run(&step.Thread.FP, v.pcpu, step.Prof, step.Work, budget)
+			wall = b.planned.Wall
+		}
 		v.burst = b
 		step.Thread.OnCPU = true
-		v.endBurst.Arm(now + overhead + b.planned.Wall)
+		v.endBurst.Arm(now + overhead + wall)
 	case guest.StepSpin:
 		b := h.getBurst()
 		b.kind = burstSpin
@@ -396,7 +467,7 @@ func (h *Hypervisor) burstEnded(v *VCPU, b *burst, now sim.Time) {
 	case burstSpin:
 		d := now - b.start - b.overhead
 		if d > 0 {
-			v.Counters.Add(cache.SpinCounters(d))
+			v.Counters.Add(cache.SpinCounters(h.refElapsed(v.pcpu, d)))
 		}
 	}
 	h.putBurst(b)
@@ -415,7 +486,7 @@ func (h *Hypervisor) settleBurst(v *VCPU, b *burst, now sim.Time) {
 	elapsed := now - b.start - b.overhead
 	if b.kind == burstSpin {
 		if elapsed > 0 {
-			v.Counters.Add(cache.SpinCounters(elapsed))
+			v.Counters.Add(cache.SpinCounters(h.refElapsed(v.pcpu, elapsed)))
 		}
 		return
 	}
@@ -426,8 +497,9 @@ func (h *Hypervisor) settleBurst(v *VCPU, b *burst, now sim.Time) {
 	if elapsed <= 0 {
 		return // preempted during the context-switch window: no progress
 	}
-	// ...and replay exactly the elapsed part.
-	res := h.Cache.Run(&b.thread.FP, v.pcpu, b.prof, b.work, elapsed)
+	// ...and replay exactly the elapsed part (in reference time on a
+	// heterogeneous core).
+	res := h.Cache.Run(&b.thread.FP, v.pcpu, b.prof, b.work, h.refElapsed(v.pcpu, elapsed))
 	v.Counters.Add(res.Counters)
 	v.Domain.OS.BurstDone(b.thread, res.Ideal, now)
 }
