@@ -52,7 +52,6 @@ import (
 	"strings"
 	"time"
 
-	"aqlsched/internal/atomicio"
 	"aqlsched/internal/catalog"
 	"aqlsched/internal/scenario"
 	"aqlsched/internal/sim"
@@ -73,6 +72,7 @@ func main() {
 		seeds       = flag.Int("seeds", 0, "override seed replications per cell")
 		seed        = flag.Uint64("seed", 0, "override the base simulation seed")
 		quick       = flag.Bool("quick", false, "quick windows (1s warmup, 2.5s measure)")
+		allowFailed = flag.Bool("allow-failed", false, "exit 0 even when runs or cells failed (failures still print and mark the artifacts)")
 		quiet       = flag.Bool("q", false, "suppress per-run progress on stderr")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -208,8 +208,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if f := res.Failed(); f > 0 {
-		fmt.Fprintf(os.Stderr, "aqlsweep: %d run(s) failed\n", f)
+	// Failures must be visible in the exit status, not only inside the
+	// artifacts: any failed run (and a fortiori any all-failed FAILED
+	// cell) exits non-zero so CI and scripts catch it. -allow-failed is
+	// the escape hatch for sweeps where partial grids are expected.
+	if f, fc := res.Failed(), res.FailedCells(); f > 0 {
+		msg := fmt.Sprintf("aqlsweep: %d run(s) failed", f)
+		if fc > 0 {
+			msg += fmt.Sprintf(", %d cell(s) FAILED entirely", fc)
+		}
+		if *allowFailed {
+			fmt.Fprintln(os.Stderr, msg+" (-allow-failed: exiting 0)")
+			return
+		}
+		fmt.Fprintln(os.Stderr, msg)
 		stopProfiling()
 		os.Exit(1)
 	}
@@ -449,33 +461,10 @@ func resolveSpec(arg string) (*sweep.Spec, []byte, string, error) {
 	return nil, nil, "", fmt.Errorf("spec %q is neither a file nor a built-in (built-ins: %v)", arg, sweep.BuiltinNames())
 }
 
-// specFingerprint pins a journal to the exact sweep it belongs to: the
-// spec source plus every grid-shaping override. Resuming against an
-// edited spec (or different flags) must fail, not silently mix grids.
-func specFingerprint(spec *sweep.Spec, src []byte, builtin string) string {
-	ident := append([]byte(nil), src...)
-	if builtin != "" {
-		ident = []byte("builtin:" + builtin)
-	}
-	ident = append(ident, fmt.Sprintf("|seeds=%d|base=%d|warmup=%d|measure=%d",
-		spec.Seeds, spec.BaseSeed, spec.Warmup, spec.Measure)...)
-	return sweep.FingerprintSpec(ident)
-}
-
 // createJournal arms the crash-safe run journal at
 // <out>/<name>.journal/ for a fresh (non-resume) invocation.
 func createJournal(spec *sweep.Spec, src []byte, builtin string, outDir string) (*sweep.Journal, error) {
-	m := sweep.Manifest{
-		Name:        spec.Name,
-		Fingerprint: specFingerprint(spec, src, builtin),
-		Builtin:     builtin,
-		SpecJSON:    string(src),
-		Seeds:       spec.Seeds,
-		BaseSeed:    spec.BaseSeed,
-		WarmupNS:    int64(spec.Warmup),
-		MeasureNS:   int64(spec.Measure),
-		Runs:        len(spec.Runs()),
-	}
+	m := sweep.NewManifest(spec, src, builtin)
 	return sweep.CreateJournal(filepath.Join(outDir, spec.Name+".journal"), m)
 }
 
@@ -486,56 +475,22 @@ func resumeSweep(dir string) (*sweep.Spec, *sweep.Journal, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	var spec *sweep.Spec
-	switch {
-	case m.Builtin != "":
-		s, ok := sweep.Builtin(m.Builtin)
-		if !ok {
-			return nil, nil, fmt.Errorf("journal %s references unknown built-in sweep %q", dir, m.Builtin)
-		}
-		spec = s
-	case len(m.SpecJSON) > 0:
-		s, err := sweep.Parse([]byte(m.SpecJSON))
-		if err != nil {
-			return nil, nil, fmt.Errorf("journal %s: embedded spec: %v", dir, err)
-		}
-		spec = s
-	default:
-		return nil, nil, fmt.Errorf("journal %s names neither a built-in nor an embedded spec", dir)
-	}
-	spec.Seeds = m.Seeds
-	spec.BaseSeed = m.BaseSeed
-	spec.Warmup = sim.Time(m.WarmupNS)
-	spec.Measure = sim.Time(m.MeasureNS)
-	if got := specFingerprint(spec, []byte(m.SpecJSON), m.Builtin); got != m.Fingerprint {
-		return nil, nil, fmt.Errorf("journal %s: fingerprint mismatch (the built-in or binary changed since the journal was written)", dir)
-	}
-	if got := len(spec.Runs()); got != m.Runs {
-		return nil, nil, fmt.Errorf("journal %s: expects %d runs, the rebuilt sweep has %d", dir, m.Runs, got)
+	spec, err := m.Rebuild()
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal %s: %v", dir, err)
 	}
 	return spec, j, nil
 }
 
-// writeArtifacts emits <name>.json, <name>.csv and <name>.txt into dir.
-// Writes are atomic (temp file + rename), so an interrupted process
-// never leaves a truncated artifact.
+// writeArtifacts emits <name>.json, <name>.csv and <name>.txt into dir
+// through the sweep package's atomic emit path (shared with aqlsweepd).
 func writeArtifacts(res *sweep.Result, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	paths, err := res.WriteArtifacts(dir)
+	if err != nil {
 		return err
 	}
-	emit := func(ext string, write func(io.Writer) error) error {
-		path := filepath.Join(dir, res.Name+ext)
-		if err := atomicio.WriteTo(path, 0o644, write); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "aqlsweep: wrote %s\n", path)
-		return nil
+	for _, p := range paths {
+		fmt.Fprintf(os.Stderr, "aqlsweep: wrote %s\n", p)
 	}
-	if err := emit(".json", func(w io.Writer) error { return res.WriteJSON(w) }); err != nil {
-		return err
-	}
-	if err := emit(".csv", func(w io.Writer) error { return res.WriteCSV(w) }); err != nil {
-		return err
-	}
-	return emit(".txt", func(w io.Writer) error { res.Table().Render(w); return nil })
+	return nil
 }

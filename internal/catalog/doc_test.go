@@ -1,0 +1,42 @@
+package catalog_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"aqlsched/internal/catalog"
+)
+
+// TestDocumentCoversAxes: the self-documentation names every axis the
+// paper's registrations populate, and serializes cleanly.
+func TestDocumentCoversAxes(t *testing.T) {
+	doc := catalog.Document()
+	if len(doc.Scenarios) == 0 || len(doc.Workloads) == 0 || len(doc.Topologies) == 0 {
+		t.Fatalf("document is missing core axes: %d scenarios, %d workloads, %d topologies",
+			len(doc.Scenarios), len(doc.Workloads), len(doc.Topologies))
+	}
+	if len(doc.Policies) == 0 || len(doc.Metrics) == 0 {
+		t.Fatalf("document is missing policies (%d) or metrics (%d)", len(doc.Policies), len(doc.Metrics))
+	}
+	for _, p := range doc.Policies {
+		if p.Name == "" {
+			t.Fatal("policy doc with empty name")
+		}
+	}
+	for _, m := range doc.Metrics {
+		if m.Name == "" || m.Unit == "" || m.Direction == "" {
+			t.Fatalf("incomplete metric doc: %+v", m)
+		}
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back catalog.Doc
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Policies) != len(doc.Policies) {
+		t.Fatalf("JSON round trip lost policies: %d != %d", len(back.Policies), len(doc.Policies))
+	}
+}

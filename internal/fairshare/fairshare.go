@@ -1,0 +1,58 @@
+// Package fairshare implements the deficit-weighted round ordering
+// shared by the fleet's tenant-fairshare placement and aqlsweepd's job
+// queue: contenders are served in ascending order of how much service
+// they have already received per unit of weight, so over repeated
+// rounds each contender's share of completed service converges to its
+// weight fraction.
+//
+// The ordering is a pure function of its inputs — no randomness, no
+// wall clock — which is what lets both callers keep their byte-identical
+// determinism guarantees.
+package fairshare
+
+import "sort"
+
+// Entry is one contender in a deficit round. Served is the service the
+// contender has already received (committed vCPUs for tenants,
+// completed sweep cells for queue users); Weight is its proportional
+// share (> 0). Key breaks deficit ties deterministically (lowest
+// first) and must be unique within one Order call.
+type Entry struct {
+	Key    int
+	Served float64
+	Weight float64
+}
+
+// Deficit is the contender's served-per-weight ratio — the quantity a
+// deficit round minimizes.
+func (e Entry) Deficit() float64 { return e.Served / e.Weight }
+
+// Order returns the indices of entries in dispatch order: ascending
+// Served/Weight, ties broken on ascending Key. Callers walk the order
+// and serve the first contender that can actually be served (a VM that
+// fits, a job whose user still has queue entries), which preserves the
+// convergence property even when the most underserved contender is
+// blocked.
+func Order(entries []Entry) []int {
+	idx := make([]int, len(entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		da, db := entries[idx[a]].Deficit(), entries[idx[b]].Deficit()
+		if da != db {
+			return da < db
+		}
+		return entries[idx[a]].Key < entries[idx[b]].Key
+	})
+	return idx
+}
+
+// Pick returns the index of the single most underserved entry (the
+// head of Order), or -1 for an empty slice.
+func Pick(entries []Entry) int {
+	if len(entries) == 0 {
+		return -1
+	}
+	return Order(entries)[0]
+}

@@ -1,0 +1,104 @@
+package fairshare
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOrderByDeficit(t *testing.T) {
+	entries := []Entry{
+		{Key: 0, Served: 10, Weight: 1}, // deficit 10
+		{Key: 1, Served: 2, Weight: 1},  // deficit 2
+		{Key: 2, Served: 6, Weight: 2},  // deficit 3
+	}
+	got := Order(entries)
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrderTieBreaksOnKey(t *testing.T) {
+	entries := []Entry{
+		{Key: 7, Served: 4, Weight: 2},
+		{Key: 3, Served: 2, Weight: 1},
+		{Key: 5, Served: 6, Weight: 3},
+	}
+	// All deficits are 2: order must be ascending Key.
+	got := Order(entries)
+	want := []int{1, 2, 0} // keys 3, 5, 7
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Order = %v, want %v (keys %d,%d,%d)",
+				got, want, entries[got[0]].Key, entries[got[1]].Key, entries[got[2]].Key)
+		}
+	}
+}
+
+func TestHigherWeightServedFirst(t *testing.T) {
+	// Equal service received, unequal weights: the heavier contender is
+	// more underserved relative to its entitlement.
+	entries := []Entry{
+		{Key: 0, Served: 6, Weight: 1},
+		{Key: 1, Served: 6, Weight: 3},
+	}
+	if got := Pick(entries); got != 1 {
+		t.Fatalf("Pick = %d, want 1 (weight 3 is more underserved)", got)
+	}
+}
+
+func TestPickEmpty(t *testing.T) {
+	if got := Pick(nil); got != -1 {
+		t.Fatalf("Pick(nil) = %d, want -1", got)
+	}
+}
+
+// TestSharesConvergeToWeights simulates the dispatch loop both callers
+// run: serve one unit to the round winner, repeat. Completed-service
+// shares must converge to the weight fractions.
+func TestSharesConvergeToWeights(t *testing.T) {
+	weights := []float64{3, 2, 1}
+	served := make([]float64, len(weights))
+	for round := 0; round < 600; round++ {
+		entries := make([]Entry, len(weights))
+		for i := range weights {
+			entries[i] = Entry{Key: i, Served: served[i], Weight: weights[i]}
+		}
+		served[Pick(entries)]++
+	}
+	total, wsum := 0.0, 0.0
+	for i := range weights {
+		total += served[i]
+		wsum += weights[i]
+	}
+	for i, w := range weights {
+		share := served[i] / total
+		want := w / wsum
+		if math.Abs(share-want) > 0.01 {
+			t.Fatalf("contender %d share %.3f, want %.3f ± 0.01 (served %v)", i, share, want, served)
+		}
+	}
+}
+
+// TestBlockedContenderSkipped mirrors the callers' walk-the-order use:
+// when the most underserved contender cannot be served, the next in
+// deficit order gets its turn.
+func TestBlockedContenderSkipped(t *testing.T) {
+	entries := []Entry{
+		{Key: 0, Served: 0, Weight: 1}, // most underserved, but blocked
+		{Key: 1, Served: 5, Weight: 1},
+	}
+	blocked := map[int]bool{0: true}
+	for _, i := range Order(entries) {
+		if blocked[i] {
+			continue
+		}
+		if i != 1 {
+			t.Fatalf("served contender %d, want 1", i)
+		}
+		return
+	}
+	t.Fatal("nothing served")
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"aqlsched/internal/catalog"
+	"aqlsched/internal/fairshare"
 )
 
 // Placement decides which pending VM is admitted next and onto which
@@ -98,50 +99,36 @@ func (binPack) Choose(f *Fleet, pending []*VM) (int, *Host, bool) {
 }
 
 // fairShare admits the most underserved tenant first: tenants are
-// ordered by committed vCPUs over weight (their current share deficit),
-// and the winner's oldest pending VM goes to the least-loaded fitting
-// host. When that VM fits nowhere, the next tenant in deficit order
-// gets its turn — small VMs of a less-deficient tenant may overtake a
-// blocked large one, trading strict FIFO for share convergence.
+// ordered by committed vCPUs over weight (their current share deficit,
+// the fairshare package's deficit round), and the winner's oldest
+// pending VM goes to the least-loaded fitting host. When that VM fits
+// nowhere, the next tenant in deficit order gets its turn — small VMs
+// of a less-deficient tenant may overtake a blocked large one, trading
+// strict FIFO for share convergence.
 type fairShare struct{}
 
 func (fairShare) Name() string { return "tenant-fairshare" }
 
 func (fairShare) Choose(f *Fleet, pending []*VM) (int, *Host, bool) {
-	type cand struct {
-		tenant  int
-		deficit float64
-		vmIdx   int
-	}
-	var cands []cand
+	var entries []fairshare.Entry
+	var vmIdx []int
 	seen := make(map[int]bool, len(f.Tenants))
 	for i, vm := range pending {
 		if seen[vm.Tenant] {
 			continue
 		}
 		seen[vm.Tenant] = true
-		w := f.Tenants[vm.Tenant].Weight
-		cands = append(cands, cand{
-			tenant:  vm.Tenant,
-			deficit: float64(f.tenantCommitted[vm.Tenant]) / w,
-			vmIdx:   i,
+		entries = append(entries, fairshare.Entry{
+			Key:    vm.Tenant,
+			Served: float64(f.tenantCommitted[vm.Tenant]),
+			Weight: f.Tenants[vm.Tenant].Weight,
 		})
+		vmIdx = append(vmIdx, i)
 	}
-	// Stable selection order: lowest committed-per-weight first, tenant
-	// index breaking ties.
-	for len(cands) > 0 {
-		best := 0
-		for i := 1; i < len(cands); i++ {
-			if cands[i].deficit < cands[best].deficit ||
-				(cands[i].deficit == cands[best].deficit && cands[i].tenant < cands[best].tenant) {
-				best = i
-			}
+	for _, j := range fairshare.Order(entries) {
+		if h := bestHost(f, pending[vmIdx[j]].VCPUs(), false); h != nil {
+			return vmIdx[j], h, true
 		}
-		c := cands[best]
-		if h := bestHost(f, pending[c.vmIdx].VCPUs(), false); h != nil {
-			return c.vmIdx, h, true
-		}
-		cands = append(cands[:best], cands[best+1:]...)
 	}
 	return 0, nil, false
 }

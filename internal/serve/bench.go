@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// The repo tracks scheduler-core performance across PRs as committed
+// BENCH_<tag>.json snapshots (one map of benchmark name → counters per
+// PR). GET /v1/bench serves that trajectory as one schema'd document,
+// so regressions are visible without checking out history.
+
+// BenchCounters is one benchmark's measured counters in one snapshot.
+type BenchCounters struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	VMSecPerS   float64 `json:"vmsec_per_s,omitempty"`
+	GOMAXPROCS  int     `json:"gomaxprocs,omitempty"`
+}
+
+// BenchSnapshot is one committed BENCH_*.json file.
+type BenchSnapshot struct {
+	// Tag is the snapshot label from the filename (BENCH_<tag>.json).
+	Tag string `json:"tag"`
+	// File is the snapshot's filename.
+	File string `json:"file"`
+	// Results maps benchmark name → counters.
+	Results map[string]BenchCounters `json:"results"`
+}
+
+// BenchDoc is the GET /v1/bench document: every snapshot plus the
+// union of benchmark names, both in stable order.
+type BenchDoc struct {
+	// Snapshots are ordered by the integer suffix of their tag when one
+	// exists (pr2 < pr6 < pr8 < pr10), then lexically — so the list
+	// reads as the PR trajectory.
+	Snapshots []BenchSnapshot `json:"snapshots"`
+	// Benchmarks is the sorted union of benchmark names across
+	// snapshots.
+	Benchmarks []string `json:"benchmarks"`
+}
+
+var benchFileRE = regexp.MustCompile(`^BENCH_(.+)\.json$`)
+
+// tagOrder extracts the trailing integer of a tag ("pr10" → 10) for
+// numeric ordering; tags without one sort after, lexically.
+func tagOrder(tag string) (int, bool) {
+	i := len(tag)
+	for i > 0 && tag[i-1] >= '0' && tag[i-1] <= '9' {
+		i--
+	}
+	if i == len(tag) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(tag[i:])
+	return n, err == nil
+}
+
+// LoadBench reads every BENCH_*.json snapshot in dir into one BenchDoc.
+// A directory with no snapshots yields an empty (not nil) document; a
+// malformed snapshot is an error — committed files must parse.
+func LoadBench(dir string) (*BenchDoc, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	doc := &BenchDoc{Snapshots: []BenchSnapshot{}, Benchmarks: []string{}}
+	for _, e := range ents {
+		m := benchFileRE.FindStringSubmatch(e.Name())
+		if m == nil || e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var results map[string]BenchCounters
+		if err := json.Unmarshal(data, &results); err != nil {
+			return nil, fmt.Errorf("%s: %v", e.Name(), err)
+		}
+		doc.Snapshots = append(doc.Snapshots, BenchSnapshot{Tag: m[1], File: e.Name(), Results: results})
+	}
+	sort.Slice(doc.Snapshots, func(i, j int) bool {
+		a, b := doc.Snapshots[i].Tag, doc.Snapshots[j].Tag
+		an, aok := tagOrder(a)
+		bn, bok := tagOrder(b)
+		switch {
+		case aok && bok && an != bn:
+			return an < bn
+		case aok != bok:
+			return aok // numbered tags first
+		default:
+			return a < b
+		}
+	})
+	names := map[string]bool{}
+	for _, s := range doc.Snapshots {
+		for n := range s.Results {
+			names[n] = true
+		}
+	}
+	for n := range names {
+		doc.Benchmarks = append(doc.Benchmarks, n)
+	}
+	sort.Strings(doc.Benchmarks)
+	return doc, nil
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadBenchRepoSnapshots reads the repo's committed BENCH_*.json
+// trajectory — the exact document GET /v1/bench serves in-tree.
+func TestLoadBenchRepoSnapshots(t *testing.T) {
+	doc, err := LoadBench("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Snapshots) < 3 {
+		t.Fatalf("repo trajectory has %d snapshots, want >= 3 (pr2, pr6, pr8)", len(doc.Snapshots))
+	}
+	seen := map[string]bool{}
+	for _, s := range doc.Snapshots {
+		seen[s.Tag] = true
+		if len(s.Results) == 0 {
+			t.Fatalf("snapshot %s is empty", s.File)
+		}
+		for name, c := range s.Results {
+			if c.NsPerOp <= 0 {
+				t.Fatalf("%s: %s has ns_per_op = %v", s.File, name, c.NsPerOp)
+			}
+		}
+	}
+	for _, tag := range []string{"pr2", "pr6", "pr8"} {
+		if !seen[tag] {
+			t.Fatalf("trajectory is missing snapshot %s (have %v)", tag, seen)
+		}
+	}
+	if len(doc.Benchmarks) == 0 {
+		t.Fatal("no benchmark names collected")
+	}
+}
+
+// TestLoadBenchNumericTagOrder: snapshots order by the tag's integer
+// suffix (pr2 < pr10), not lexically.
+func TestLoadBenchNumericTagOrder(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"BENCH_pr10.json": `{"BenchmarkX": {"ns_per_op": 2}}`,
+		"BENCH_pr2.json":  `{"BenchmarkX": {"ns_per_op": 1}}`,
+		"BENCH_base.json": `{"BenchmarkX": {"ns_per_op": 3}}`,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc, err := LoadBench(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tags []string
+	for _, s := range doc.Snapshots {
+		tags = append(tags, s.Tag)
+	}
+	want := []string{"pr2", "pr10", "base"}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("snapshot order %v, want %v", tags, want)
+		}
+	}
+}
+
+// TestLoadBenchRejectsMalformed: a committed snapshot that does not
+// parse is an error, not a silent skip.
+func TestLoadBenchRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBench(dir); err == nil {
+		t.Fatal("LoadBench accepted a malformed snapshot")
+	}
+}

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 
+	"aqlsched/internal/atomicio"
 	"aqlsched/internal/metrics"
 	"aqlsched/internal/report"
 )
@@ -88,6 +91,37 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Document())
+}
+
+// WriteArtifacts emits <dir>/<name>.json, .csv and .txt (creating dir
+// as needed) and returns the paths written. Every write is atomic
+// (temp file + rename), so an interrupted process never leaves a
+// truncated artifact — the shared emit path of aqlsweep -out and
+// aqlsweepd job completion, which is what makes service and batch
+// artifacts byte-comparable.
+func (r *Result) WriteArtifacts(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	emit := func(ext string, write func(io.Writer) error) error {
+		path := filepath.Join(dir, r.Name+ext)
+		if err := atomicio.WriteTo(path, 0o644, write); err != nil {
+			return err
+		}
+		paths = append(paths, path)
+		return nil
+	}
+	if err := emit(".json", r.WriteJSON); err != nil {
+		return nil, err
+	}
+	if err := emit(".csv", r.WriteCSV); err != nil {
+		return nil, err
+	}
+	if err := emit(".txt", func(w io.Writer) error { r.Table().Render(w); return nil }); err != nil {
+		return nil, err
+	}
+	return paths, nil
 }
 
 // csvFloat formats a float with enough digits to round-trip, so the

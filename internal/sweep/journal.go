@@ -12,6 +12,7 @@ import (
 	"aqlsched/internal/atomicio"
 	"aqlsched/internal/metrics"
 	"aqlsched/internal/scenario"
+	"aqlsched/internal/sim"
 )
 
 // Journal is the crash-safety layer of a sweep: every successfully
@@ -57,6 +58,67 @@ type Manifest struct {
 	MeasureNS int64  `json:"measure_ns"`
 	// Runs is the expanded matrix size (a sanity check on open).
 	Runs int `json:"runs"`
+}
+
+// NewManifest snapshots a sweep's identity for a crash-safe journal:
+// the spec source (raw file bytes, or a built-in name), plus every
+// grid-shaping override already applied to spec. The fingerprint
+// covers all of it, so resuming against an edited spec or different
+// overrides fails instead of silently mixing grids. Both aqlsweep's
+// -out journal and aqlsweepd's per-job journals are created from this.
+func NewManifest(spec *Spec, src []byte, builtin string) Manifest {
+	ident := append([]byte(nil), src...)
+	if builtin != "" {
+		ident = []byte("builtin:" + builtin)
+	}
+	ident = append(ident, fmt.Sprintf("|seeds=%d|base=%d|warmup=%d|measure=%d",
+		spec.Seeds, spec.BaseSeed, spec.Warmup, spec.Measure)...)
+	return Manifest{
+		Name:        spec.Name,
+		Fingerprint: fingerprint(ident),
+		Builtin:     builtin,
+		SpecJSON:    string(src),
+		Seeds:       spec.Seeds,
+		BaseSeed:    spec.BaseSeed,
+		WarmupNS:    int64(spec.Warmup),
+		MeasureNS:   int64(spec.Measure),
+		Runs:        len(spec.Runs()),
+	}
+}
+
+// Rebuild reconstructs the exact Spec the manifest was created for —
+// the -resume path, also used by aqlsweepd to re-run recovered jobs.
+// It re-derives the fingerprint and run count and fails on any
+// mismatch (a changed built-in, an edited embedded spec).
+func (m *Manifest) Rebuild() (*Spec, error) {
+	var spec *Spec
+	switch {
+	case m.Builtin != "":
+		s, ok := Builtin(m.Builtin)
+		if !ok {
+			return nil, fmt.Errorf("sweep: manifest references unknown built-in sweep %q", m.Builtin)
+		}
+		spec = s
+	case len(m.SpecJSON) > 0:
+		s, err := Parse([]byte(m.SpecJSON))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: manifest's embedded spec: %v", err)
+		}
+		spec = s
+	default:
+		return nil, fmt.Errorf("sweep: manifest names neither a built-in nor an embedded spec")
+	}
+	spec.Seeds = m.Seeds
+	spec.BaseSeed = m.BaseSeed
+	spec.Warmup = sim.Time(m.WarmupNS)
+	spec.Measure = sim.Time(m.MeasureNS)
+	if got := NewManifest(spec, []byte(m.SpecJSON), m.Builtin).Fingerprint; got != m.Fingerprint {
+		return nil, fmt.Errorf("sweep: manifest fingerprint mismatch (the built-in or binary changed since the journal was written)")
+	}
+	if got := len(spec.Runs()); got != m.Runs {
+		return nil, fmt.Errorf("sweep: manifest expects %d runs, the rebuilt sweep has %d", m.Runs, got)
+	}
+	return spec, nil
 }
 
 // FingerprintBuiltin fingerprints a built-in sweep reference.
@@ -189,6 +251,31 @@ func (j *Journal) Restored(idx int) (RunResult, bool) {
 // RestoredCount reports how many runs the journal restored.
 func (j *Journal) RestoredCount() int { return len(j.restored) }
 
+// RestoredIndexes returns the expansion indexes the journal restored,
+// ascending — aqlsweepd seeds a recovered job's result stream from it.
+func (j *Journal) RestoredIndexes() []int {
+	out := make([]int, 0, len(j.restored))
+	for idx := range j.restored {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Checkpoint returns the raw journaled bytes of run idx exactly as
+// written: one JSON object on a single line, newline-terminated —
+// ready to be emitted verbatim as an NDJSON stream line.
+func (j *Journal) Checkpoint(idx int) ([]byte, error) {
+	return os.ReadFile(CheckpointPath(j.dir, idx))
+}
+
+// CheckpointPath is the journal checkpoint file of run idx inside dir.
+// Exposed so aqlsweepd can stream checkpoints of journals it is not
+// currently executing (finished or recovered jobs).
+func CheckpointPath(dir string, idx int) string {
+	return filepath.Join(dir, fmt.Sprintf("run-%05d.json", idx))
+}
+
 // Dir is the journal's directory.
 func (j *Journal) Dir() string { return j.dir }
 
@@ -215,6 +302,5 @@ func (j *Journal) Record(rr *RunResult) error {
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(j.dir, fmt.Sprintf("run-%05d.json", rr.Index))
-	return atomicio.WriteFile(path, append(data, '\n'), 0o644)
+	return atomicio.WriteFile(CheckpointPath(j.dir, rr.Index), append(data, '\n'), 0o644)
 }

@@ -14,6 +14,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -235,6 +236,20 @@ type Options struct {
 	// Workers: a sweep may run cells in parallel while each fleet cell
 	// shards internally.
 	FleetWorkers int
+	// OnRun, when non-nil, is called once per newly executed run —
+	// successful or failed — right after it completes (journal-restored
+	// runs are not re-reported; Journal.RestoredCount covers them).
+	// Calls are serialized, so the callback may mutate shared state
+	// without its own locking, but it runs on the sweep's worker
+	// goroutines and must return quickly. This is the incremental
+	// result hook aqlsweepd streams from.
+	OnRun func(*RunResult)
+	// Context, when non-nil, cancels the sweep between runs: once it is
+	// done, no further runs are dispatched, in-flight runs complete
+	// (simulations have no cancellation points) and are journaled as
+	// usual, and Exec returns the context's error. The journal plus a
+	// later resume make a canceled sweep continuable.
+	Context context.Context
 }
 
 // EffectiveWorkers reports the pool size Exec will use before
@@ -263,6 +278,18 @@ func (r *Result) Failed() int {
 	n := 0
 	for i := range r.Runs {
 		if r.Runs[i].Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// FailedCells counts cells whose every replication failed — the cells
+// the emitters mark FAILED, with no aggregates at all.
+func (r *Result) FailedCells() int {
+	n := 0
+	for i := range r.Cells {
+		if r.Cells[i].Runs == 0 {
 			n++
 		}
 	}
@@ -335,6 +362,14 @@ func Exec(spec *Spec, opts Options) (*Result, error) {
 							}
 						}
 					}
+					if opts.OnRun != nil {
+						// After the journal write, so a callback observing the
+						// run can already read its checkpoint; serialized under
+						// the same mutex as progress output.
+						mu.Lock()
+						opts.OnRun(rr)
+						mu.Unlock()
+					}
 				}
 				if opts.Progress != nil {
 					mu.Lock()
@@ -348,11 +383,25 @@ func Exec(spec *Spec, opts Options) (*Result, error) {
 			}
 		}()
 	}
+feed:
 	for idx := range runs {
-		jobs <- idx
+		if opts.Context != nil {
+			select {
+			case jobs <- idx:
+			case <-opts.Context.Done():
+				break feed
+			}
+		} else {
+			jobs <- idx
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if opts.Context != nil {
+		if err := opts.Context.Err(); err != nil {
+			return nil, err
+		}
+	}
 
 	res := &Result{
 		Name:     spec.Name,
